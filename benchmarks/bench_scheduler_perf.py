@@ -1,0 +1,57 @@
+"""Scheduler performance: cost of influenced vs plain scheduling.
+
+Not a paper table, but the implicit compile-time story: constraint
+injection must not blow up scheduling time.  Benchmarks the per-kernel
+scheduling cost for increasing statement counts and nest depths.
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.deps.analysis import compute_dependences
+from repro.influence import build_influence_tree
+from repro.ir.examples import elementwise_chain, matmul, running_example
+from repro.schedule import InfluencedScheduler
+from repro.workloads import operators
+
+
+CASES = {
+    "matmul_3d": lambda: matmul(32),
+    "running_example": lambda: running_example(32),
+    "chain_len2": lambda: elementwise_chain(32, 2),
+    "chain_len4": lambda: elementwise_chain(32, 4),
+    "layout_conversion_4d": lambda: operators.layout_conversion_op(
+        "perf_conv", 2, 16, 8, 8),
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_bench_plain_scheduling(benchmark, case):
+    kernel = CASES[case]()
+    relations = compute_dependences(kernel)
+
+    def run():
+        return InfluencedScheduler(kernel, relations=relations).schedule()
+
+    schedule = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert schedule.is_complete()
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_bench_influenced_scheduling(benchmark, case):
+    kernel = CASES[case]()
+    relations = compute_dependences(kernel)
+    tree = build_influence_tree(kernel)
+
+    def run():
+        return InfluencedScheduler(kernel, relations=relations).schedule(tree)
+
+    schedule = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert schedule.is_complete()
+
+
+def test_bench_dependence_analysis(benchmark):
+    kernel = elementwise_chain(32, 4)
+    relations = benchmark.pedantic(lambda: compute_dependences(kernel),
+                                   rounds=2, iterations=1)
+    assert relations

@@ -1,0 +1,28 @@
+"""Regenerate Table I (target end-to-end workloads).
+
+The table itself is a static registry; the benchmark measures suite
+generation (the part of the workload substrate that replaces MindSpore's
+ModelZoo extraction).
+"""
+
+from conftest import seed, write_artifact
+
+from repro.eval import format_table1
+from repro.workloads import NETWORKS, generate_network_suite
+
+
+def test_table1_artifact(benchmark, out_dir):
+    text = benchmark(format_table1)
+    write_artifact("table1.txt", text)
+    assert "BERT" in text and "VGG16" in text
+    assert len(text.splitlines()) == 3 + len(NETWORKS)
+
+
+def test_bench_suite_generation(benchmark):
+    def generate_all():
+        return {name: generate_network_suite(name, seed=seed())
+                for name in NETWORKS}
+
+    suites = benchmark(generate_all)
+    assert sum(len(s) for s in suites.values()) == \
+        sum(spec.total_operators for spec in NETWORKS.values())

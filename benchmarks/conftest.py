@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_TABLE2_LIMIT`` — operators per network for the Table II bench
+  (default 6 for a quick run; set to ``0``/``full`` for the paper's full
+  counts, ~10 minutes).
+* ``REPRO_SEED`` — workload generator seed (default 0).
+
+Every bench writes its regenerated table/figure to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def table2_limit() -> int | None:
+    raw = os.environ.get("REPRO_TABLE2_LIMIT", "6").strip().lower()
+    if raw in ("0", "full", "all", ""):
+        return None
+    return int(raw)
+
+
+def seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text)
+    print(f"\n--- {name} ---")
+    print(text)
+    return path

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The paper's running example end-to-end (Fig. 2 + Fig. 3).
+
+Walks the full story of the paper on ``fused_mul_sub_mul_tensoradd``:
+
+1. the input fused operator (Fig. 2(a));
+2. what the baseline scheduler produces — two distributed nests with the
+   inefficient ``D[k][i][j]`` access (Fig. 2(b));
+3. Algorithm 2's influenced dimension scenarios and the influence
+   constraint tree built from them (Fig. 3);
+4. the influenced schedule: fused nests, outer ``forall``, innermost
+   ``forvec`` prepared for vector types (Fig. 2(c));
+5. the modelled execution times of all four configurations.
+
+Run:  python examples/running_example.py
+"""
+
+from repro.influence import build_influence_tree, build_scenarios
+from repro.ir.examples import running_example
+from repro.pipeline import AkgPipeline
+from repro.schedule import InfluencedScheduler
+
+
+def main() -> None:
+    kernel = running_example(32)
+    pipeline = AkgPipeline()
+
+    print("=" * 72)
+    print("Fig. 2(a): the input fused operator")
+    print("=" * 72)
+    for s in kernel.statements:
+        writes = ", ".join(str(a) for a in s.writes)
+        reads = ", ".join(str(a) for a in s.reads)
+        print(f"  {s.name} over {tuple(s.iterators)}: {writes} = f({reads})")
+
+    print()
+    print("=" * 72)
+    print("Fig. 2(b): baseline (isl-style) result — distributed nests")
+    print("=" * 72)
+    isl = pipeline.compile(kernel, "isl")
+    print(isl.signature())
+
+    print()
+    print("=" * 72)
+    print("Fig. 3: influenced dimension scenarios and constraint tree")
+    print("=" * 72)
+    for name, scenarios in build_scenarios(kernel).items():
+        for scenario in scenarios:
+            print(f"  {name}: dims={scenario.dims} "
+                  f"score={scenario.score:.2f} "
+                  f"vector_width={scenario.vector_width}")
+    tree = build_influence_tree(kernel)
+    print()
+    print(tree.pretty())
+
+    print()
+    print("=" * 72)
+    print("Fig. 2(c): influenced result — fused, forall outer, forvec inner")
+    print("=" * 72)
+    scheduler = InfluencedScheduler(kernel)
+    schedule = scheduler.schedule(tree)
+    print("schedule functions:")
+    print(schedule.pretty())
+    print()
+    infl = pipeline.compile(kernel, "infl")
+    print(infl.signature())
+    print()
+    print(f"scheduler stats: {scheduler.stats}")
+
+    print()
+    print("=" * 72)
+    print("Modelled execution times (GPU model, see DESIGN.md)")
+    print("=" * 72)
+    baseline = None
+    for variant in ("isl", "tvm", "novec", "infl"):
+        timing = pipeline.compile_and_measure(kernel, variant)
+        if variant == "isl":
+            baseline = timing.time
+        print(f"  {variant:6s} {timing.time * 1e6:9.1f} us   "
+              f"speedup over isl: {baseline / timing.time:5.2f}x   "
+              f"launches: {timing.compiled.n_launches}")
+    print()
+    print("note: at this toy size (N=32) the fused Fig. 2(c) kernel only has")
+    print("N-way parallelism, so the execution model shows the structural")
+    print("transformation rather than a speedup; production operators carry")
+    print("fat outer dimensions (see examples/quickstart.py for a shaped")
+    print("instance of the same pattern, where fusion wins).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setuptools shim so editable installs work without network access."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Optimizing GPU Deep Learning Operators with "
+        "Polyhedral Scheduling Constraint Injection' (CGO 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,29 @@
+"""Reproduction of "Optimizing GPU Deep Learning Operators with Polyhedral
+Scheduling Constraint Injection" (Bastoul et al., CGO 2022).
+
+Public API overview
+-------------------
+
+* :class:`repro.ir.Kernel` / :func:`repro.ir.kparser.parse_kernel` — build
+  or parse fused-operator kernels.
+* :class:`repro.schedule.InfluencedScheduler` — Algorithm 1 (the influenced
+  polyhedral scheduler).
+* :func:`repro.influence.build_scenarios` /
+  :func:`repro.influence.build_influence_tree` — Algorithm 2 and the
+  Section V constraint-tree builder.
+* :class:`repro.pipeline.AkgPipeline` — the end-to-end AKG-style pipeline
+  with the paper's four evaluation variants (isl / tvm / novec / infl).
+* :func:`repro.gpu.simulate_kernel` — the analytic GPU execution model.
+* :mod:`repro.eval` — the Table I / Table II harness.
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+from repro.ir import Kernel
+from repro.pipeline import AkgPipeline
+from repro.schedule import InfluencedScheduler, SchedulerOptions
+
+__all__ = ["Kernel", "AkgPipeline", "InfluencedScheduler",
+           "SchedulerOptions", "__version__"]

@@ -1,0 +1,149 @@
+"""Command line interface.
+
+::
+
+    python -m repro compile op.kdl --variant infl --measure
+    python -m repro scenarios op.kdl
+    python -m repro table1
+    python -m repro table2 --limit 6 --networks ResNet50,VGG16
+
+The kernel file format is documented in :mod:`repro.ir.kparser`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.eval import (
+    EvaluationConfig,
+    evaluate_network,
+    format_table1,
+    format_table2,
+)
+from repro.eval.tables import geomean_speedup
+from repro.influence import build_influence_tree, build_scenarios
+from repro.ir.kparser import KernelParseError, parse_kernel_file
+from repro.pipeline import AkgPipeline, VARIANTS
+from repro.workloads import NETWORKS
+
+
+def _cmd_compile(args) -> int:
+    kernel = parse_kernel_file(args.file)
+    pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
+                           max_threads=args.max_threads)
+    variants = VARIANTS if args.all_variants else (args.variant,)
+    baseline = None
+    for variant in variants:
+        compiled = pipeline.compile(kernel, variant)
+        print(f"=== variant {variant}: {compiled.n_launches} launch(es), "
+              f"vectorized={compiled.vectorized} ===")
+        print(compiled.signature())
+        if args.measure:
+            timing = pipeline.measure(compiled)
+            if variant == "isl" or baseline is None:
+                baseline = timing.time
+            print(f"--- modelled time {timing.time * 1e6:.1f} us, "
+                  f"DRAM {timing.dram_bytes / 1e6:.2f} MB, "
+                  f"speedup vs first variant "
+                  f"{baseline / timing.time:.2f}x ---")
+        print()
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    kernel = parse_kernel_file(args.file)
+    print(f"kernel {kernel.name}, params {kernel.params}")
+    print()
+    print("Influenced dimension scenarios (Algorithm 2):")
+    for name, scenarios in build_scenarios(kernel).items():
+        for scenario in scenarios:
+            print(f"  {name}: dims={scenario.dims} "
+                  f"score={scenario.score:.2f} "
+                  f"vector_width={scenario.vector_width}")
+    print()
+    print("Influence constraint tree:")
+    print(build_influence_tree(kernel).pretty())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    networks = args.networks.split(",") if args.networks else list(NETWORKS)
+    unknown = [n for n in networks if n not in NETWORKS]
+    if unknown:
+        print(f"unknown networks: {unknown}; pick from {list(NETWORKS)}",
+              file=sys.stderr)
+        return 2
+    config = EvaluationConfig(
+        seed=args.seed,
+        limit_per_network=args.limit if args.limit > 0 else None,
+        sample_blocks=args.sample_blocks)
+    results = []
+    for network in networks:
+        print(f"evaluating {network}...", file=sys.stderr)
+        results.append(evaluate_network(network, config))
+    print(format_table2(results))
+    print(f"\ngeomean speedup (infl over isl): "
+          f"{geomean_speedup(results):.2f}x")
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the `repro` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Polyhedral scheduling constraint injection (CGO 2022) "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a kernel file")
+    p.add_argument("file")
+    p.add_argument("--variant", choices=VARIANTS, default="infl")
+    p.add_argument("--all-variants", action="store_true")
+    p.add_argument("--measure", action="store_true",
+                   help="run the GPU model and print times")
+    p.add_argument("--sample-blocks", type=int, default=8)
+    p.add_argument("--max-threads", type=int, default=256)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("scenarios",
+                       help="print Algorithm 2 scenarios and the tree")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser("table1", help="print Table I")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table II")
+    p.add_argument("--limit", type=int, default=6,
+                   help="operators per network (0 = the paper's full counts)")
+    p.add_argument("--networks", default="",
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sample-blocks", type=int, default=8)
+    p.set_defaults(func=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KernelParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Code generation: schedules to loop ASTs, GPU mapping, vectorization.
+
+* :mod:`repro.codegen.ast` — the loop AST (loops, guards, statement
+  instances) with a C-like pretty printer.
+* :mod:`repro.codegen.generate` — polyhedral code generation: per-statement
+  change of basis into schedule time, Fourier–Motzkin loop bounds, scalar
+  dimension splitting, per-statement guards.
+* :mod:`repro.codegen.cuda` — the mapping pass: assigns outer parallel loops
+  to CUDA blocks/threads (skipping dimensions marked for vectorization, as
+  the paper's modified AKG mapping does) and emits pseudo-CUDA.
+* :mod:`repro.codegen.vectorize` — the backend vectorization pass that
+  rewrites the marked innermost loop with explicit vector types.
+"""
+
+from repro.codegen.ast import Guard, Loop, Seq, StatementCall
+from repro.codegen.generate import generate_ast
+from repro.codegen.cuda import MappedKernel, map_to_gpu
+from repro.codegen.vectorize import vectorize
+
+__all__ = [
+    "Guard", "Loop", "Seq", "StatementCall",
+    "generate_ast", "MappedKernel", "map_to_gpu", "vectorize",
+]

@@ -1,0 +1,85 @@
+"""Dependence graph over statements with SCC support.
+
+Algorithm 1's last fallback separates strongly connected components of the
+dependence graph by inserting scalar schedule dimensions; this module
+provides the graph, Tarjan's SCC algorithm, and a topological order of the
+components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.deps.relation import DependenceRelation
+from repro.ir.statement import Statement
+
+
+class DependenceGraph:
+    """Directed graph: statements as nodes, dependence relations as edges."""
+
+    def __init__(self, statements: Sequence[Statement],
+                 relations: Iterable[DependenceRelation]):
+        self.statements = list(statements)
+        self.names = [s.name for s in self.statements]
+        self.edges: dict[str, set[str]] = {name: set() for name in self.names}
+        for rel in relations:
+            if rel.source.name not in self.edges or rel.target.name not in self.edges:
+                raise ValueError(f"relation {rel} references unknown statements")
+            if rel.source.name != rel.target.name:
+                self.edges[rel.source.name].add(rel.target.name)
+
+    def strongly_connected_components(self) -> list[list[str]]:
+        """Tarjan's algorithm; components are returned in reverse
+        topological order of the condensation (callees first)."""
+        index_counter = [0]
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: dict[str, bool] = {}
+        components: list[list[str]] = []
+
+        def strongconnect(node: str):
+            index[node] = index_counter[0]
+            lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack[node] = True
+            for succ in sorted(self.edges[node]):
+                if succ not in index:
+                    strongconnect(succ)
+                    lowlink[node] = min(lowlink[node], lowlink[succ])
+                elif on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(sorted(component))
+
+        for name in self.names:
+            if name not in index:
+                strongconnect(name)
+        return components
+
+    def topological_components(self) -> list[list[str]]:
+        """SCCs in topological order (sources of the condensation first).
+
+        Tarjan emits components in reverse topological order of the
+        condensation, so reversing yields dependence-respecting order.
+        """
+        return list(reversed(self.strongly_connected_components()))
+
+    def component_of(self, name: str) -> list[str]:
+        """The SCC containing statement ``name``."""
+        for comp in self.strongly_connected_components():
+            if name in comp:
+                return comp
+        raise KeyError(name)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.names)

@@ -1,0 +1,110 @@
+"""Report generation: dump evaluation runs as CSV and markdown.
+
+Turns a set of :class:`~repro.eval.runner.NetworkResult` into durable
+artifacts: a per-operator CSV (one row per fused operator with all four
+variant times and flags), a markdown summary in the EXPERIMENTS.md style,
+and a JSON blob for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping
+
+from repro.eval.runner import NetworkResult
+from repro.eval.tables import geomean_speedup, table2_row
+
+CSV_FIELDS = [
+    "network", "operator", "op_class", "influenced", "vectorized",
+    "isl_us", "tvm_us", "novec_us", "infl_us",
+    "speedup_tvm", "speedup_novec", "speedup_infl",
+    "launches_isl", "launches_infl",
+]
+
+
+def operators_csv(results: Iterable[NetworkResult]) -> str:
+    """One CSV row per fused operator."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for result in results:
+        for op in result.operators:
+            writer.writerow({
+                "network": result.network,
+                "operator": op.name,
+                "op_class": op.op_class,
+                "influenced": int(op.influenced),
+                "vectorized": int(op.vectorized),
+                "isl_us": round(op.times["isl"] * 1e6, 2),
+                "tvm_us": round(op.times["tvm"] * 1e6, 2),
+                "novec_us": round(op.times["novec"] * 1e6, 2),
+                "infl_us": round(op.times["infl"] * 1e6, 2),
+                "speedup_tvm": round(op.speedup("tvm"), 3),
+                "speedup_novec": round(op.speedup("novec"), 3),
+                "speedup_infl": round(op.speedup("infl"), 3),
+                "launches_isl": op.launches["isl"],
+                "launches_infl": op.launches["infl"],
+            })
+    return buffer.getvalue()
+
+
+def markdown_summary(results: Iterable[NetworkResult]) -> str:
+    """A markdown table in the EXPERIMENTS.md comparison style."""
+    results = list(results)
+    lines = [
+        "| Network | total | vec | infl | isl (ms) | tvm | novec | infl "
+        "| speedup infl |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for result in results:
+        row = table2_row(result)
+        a = row["all"]
+        lines.append(
+            f"| {row['network']} | {row['total']} | {row['vec']} "
+            f"| {row['infl_count']} | {a['isl_ms']:.2f} | {a['tvm_ms']:.2f} "
+            f"| {a['novec_ms']:.2f} | {a['infl_ms']:.2f} "
+            f"| {a['speedup_infl']:.2f}x |")
+    lines.append("")
+    lines.append(f"geomean influenced speedup: "
+                 f"{geomean_speedup(results):.2f}x")
+    return "\n".join(lines)
+
+
+def json_dump(results: Mapping[str, NetworkResult]) -> str:
+    """A machine-readable dump of the whole run."""
+    payload = {}
+    for name, result in results.items():
+        payload[name] = {
+            "row": table2_row(result),
+            "operators": [
+                {
+                    "name": op.name,
+                    "class": op.op_class,
+                    "influenced": op.influenced,
+                    "vectorized": op.vectorized,
+                    "times_us": {v: t * 1e6 for v, t in op.times.items()},
+                    "launches": op.launches,
+                }
+                for op in result.operators
+            ],
+        }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_report(results: Mapping[str, NetworkResult], directory) -> list:
+    """Write csv/markdown/json artifacts into ``directory``; returns paths."""
+    from pathlib import Path
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    ordered = [results[name] for name in results]
+    paths = []
+    for filename, content in (
+            ("operators.csv", operators_csv(ordered)),
+            ("summary.md", markdown_summary(ordered)),
+            ("results.json", json_dump(results))):
+        path = directory / filename
+        path.write_text(content)
+        paths.append(path)
+    return paths

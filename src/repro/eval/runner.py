@@ -1,0 +1,144 @@
+"""Run fused-operator suites through the four compilation variants.
+
+For every operator we compile/measure ``isl``, ``tvm``, ``novec`` and
+``infl`` and record:
+
+* the four execution times (from the GPU model),
+* whether influence modified the compiled result (``influenced``: the
+  normalized code signatures of ``isl`` and ``infl`` differ),
+* whether the influenced result uses explicit vector types (``vec``).
+
+These are the quantities Table II aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpu.arch import GpuArch, V100
+from repro.influence.scenarios import CostWeights
+from repro.ir.kernel import Kernel
+from repro.pipeline.akg import AkgPipeline, VARIANTS
+from repro.workloads.generator import generate_network_suite
+from repro.workloads.networks import NETWORKS
+
+
+@dataclass
+class EvaluationConfig:
+    """Knobs for an evaluation run."""
+
+    seed: int = 0
+    limit_per_network: Optional[int] = None  # None = the paper's full counts
+    sample_blocks: int = 8
+    max_threads: int = 256
+    arch: GpuArch = V100
+    weights: CostWeights = CostWeights()
+
+
+@dataclass
+class OperatorResult:
+    """Per-operator measurements across the four variants."""
+
+    name: str
+    op_class: str
+    times: dict  # variant -> seconds
+    influenced: bool
+    vectorized: bool
+    launches: dict  # variant -> number of kernel launches
+    scheduler_stats: dict = field(default_factory=dict)
+
+    def speedup(self, variant: str) -> float:
+        return self.times["isl"] / self.times[variant]
+
+
+@dataclass
+class NetworkResult:
+    """All operator results of one network."""
+
+    network: str
+    operators: list[OperatorResult]
+
+    # -- Table II aggregates -------------------------------------------------
+
+    @property
+    def count_total(self) -> int:
+        return len(self.operators)
+
+    @property
+    def count_vec(self) -> int:
+        return sum(1 for op in self.operators if op.vectorized)
+
+    @property
+    def count_influenced(self) -> int:
+        return sum(1 for op in self.operators if op.influenced)
+
+    def total_time(self, variant: str, influenced_only: bool = False) -> float:
+        ops = [op for op in self.operators
+               if not influenced_only or op.influenced]
+        return sum(op.times[variant] for op in ops)
+
+    def speedup(self, variant: str, influenced_only: bool = False) -> float:
+        base = self.total_time("isl", influenced_only)
+        other = self.total_time(variant, influenced_only)
+        return base / other if other else float("nan")
+
+
+def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
+                      kernel: Kernel) -> OperatorResult:
+    """Compile and measure one fused operator under all four variants."""
+    times: dict[str, float] = {}
+    launches: dict[str, int] = {}
+    signatures: dict[str, str] = {}
+    stats: dict[str, list] = {}
+    vectorized = False
+    for variant in VARIANTS:
+        compiled = pipeline.compile(kernel, variant)
+        timing = pipeline.measure(compiled)
+        times[variant] = timing.time
+        launches[variant] = compiled.n_launches
+        signatures[variant] = compiled.signature()
+        stats[variant] = compiled.scheduler_stats
+        if variant == "infl":
+            vectorized = compiled.vectorized
+    return OperatorResult(
+        name=name,
+        op_class=op_class,
+        times=times,
+        influenced=signatures["isl"] != signatures["infl"],
+        vectorized=vectorized,
+        launches=launches,
+        scheduler_stats=stats,
+    )
+
+
+def evaluate_network(network: str,
+                     config: Optional[EvaluationConfig] = None,
+                     progress: Optional[Callable[[str], None]] = None
+                     ) -> NetworkResult:
+    """Evaluate one Table I network's fused-operator suite."""
+    config = config or EvaluationConfig()
+    pipeline = AkgPipeline(arch=config.arch, max_threads=config.max_threads,
+                           sample_blocks=config.sample_blocks,
+                           weights=config.weights)
+    suite = generate_network_suite(network, seed=config.seed,
+                                   limit=config.limit_per_network)
+    results = []
+    for op_class, kernel in suite:
+        if progress:
+            progress(f"{network}: {kernel.name}")
+        results.append(evaluate_operator(pipeline, kernel.name, op_class,
+                                         kernel))
+    return NetworkResult(network=network, operators=results)
+
+
+def evaluate_all(config: Optional[EvaluationConfig] = None,
+                 networks: Optional[list[str]] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> dict[str, NetworkResult]:
+    """Evaluate every network (the full Table II)."""
+    config = config or EvaluationConfig()
+    out = {}
+    for network in (networks or list(NETWORKS)):
+        out[network] = evaluate_network(network, config, progress)
+    return out

@@ -1,0 +1,94 @@
+"""Formatting of Table I and Table II in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.eval.runner import NetworkResult
+from repro.workloads.networks import table1_rows
+
+
+def format_table1() -> str:
+    """TABLE I: target end-to-end workloads."""
+    rows = table1_rows()
+    width_name = max(len(r[0]) for r in rows) + 2
+    width_type = 6
+    lines = [
+        "TABLE I — TARGET END-TO-END WORKLOADS",
+        f"{'Network':<{width_name}}{'Type':<{width_type}}Dataset",
+        "-" * (width_name + width_type + 24),
+    ]
+    for name, kind, dataset in rows:
+        lines.append(f"{name:<{width_name}}{kind:<{width_type}}{dataset}")
+    return "\n".join(lines)
+
+
+def table2_row(result: NetworkResult) -> dict:
+    """One Table II row as a dict (times in milliseconds)."""
+    def ms(variant, influenced_only=False):
+        return result.total_time(variant, influenced_only) * 1e3
+
+    return {
+        "network": result.network,
+        "total": result.count_total,
+        "vec": result.count_vec,
+        "infl_count": result.count_influenced,
+        "all": {
+            "isl_ms": ms("isl"),
+            "tvm_ms": ms("tvm"),
+            "novec_ms": ms("novec"),
+            "infl_ms": ms("infl"),
+            "speedup_tvm": result.speedup("tvm"),
+            "speedup_novec": result.speedup("novec"),
+            "speedup_infl": result.speedup("infl"),
+        },
+        "influenced": {
+            "isl_ms": ms("isl", True),
+            "tvm_ms": ms("tvm", True),
+            "novec_ms": ms("novec", True),
+            "infl_ms": ms("infl", True),
+            "speedup_tvm": result.speedup("tvm", True),
+            "speedup_novec": result.speedup("novec", True),
+            "speedup_infl": result.speedup("infl", True),
+        },
+    }
+
+
+def format_table2(results: Iterable[NetworkResult]) -> str:
+    """TABLE II: fused operators execution times, in the paper's layout."""
+    header1 = (f"{'':12s}|{'Operator Count':^17s}|"
+               f"{'Execution Time (ms) — All':^33s}|{'Speedup':^20s}|"
+               f"{'Exec Time (ms) — Influenced':^33s}|{'Speedup':^20s}")
+    header2 = (f"{'Network':<12s}|{'total':>5s}{'vec':>5s}{'infl':>6s} |"
+               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s} |"
+               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s} |"
+               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s} |"
+               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s}")
+    lines = ["TABLE II — FUSED OPERATORS EXECUTION TIMES",
+             header1, header2, "-" * len(header2)]
+    for result in results:
+        row = table2_row(result)
+        a, i = row["all"], row["influenced"]
+        lines.append(
+            f"{row['network']:<12s}|{row['total']:>5d}{row['vec']:>5d}"
+            f"{row['infl_count']:>6d} |"
+            f"{a['isl_ms']:>8.2f}{a['tvm_ms']:>8.2f}"
+            f"{a['novec_ms']:>8.2f}{a['infl_ms']:>8.2f} |"
+            f"{a['speedup_tvm']:>6.2f}{a['speedup_novec']:>7.2f}"
+            f"{a['speedup_infl']:>6.2f} |"
+            f"{i['isl_ms']:>8.2f}{i['tvm_ms']:>8.2f}"
+            f"{i['novec_ms']:>8.2f}{i['infl_ms']:>8.2f} |"
+            f"{i['speedup_tvm']:>6.2f}{i['speedup_novec']:>7.2f}"
+            f"{i['speedup_infl']:>6.2f}")
+    return "\n".join(lines)
+
+
+def geomean_speedup(results: Iterable[NetworkResult],
+                    variant: str = "infl") -> float:
+    """Geometric-mean speedup over networks (the paper's 1.7x headline)."""
+    import math
+    speedups = [r.speedup(variant) for r in results]
+    speedups = [s for s in speedups if s == s and s > 0]  # drop NaN
+    if not speedups:
+        return float("nan")
+    return math.exp(sum(math.log(s) for s in speedups) / len(speedups))

@@ -1,0 +1,179 @@
+"""Warp-level memory transaction model: L1 + L2 write-back sector caches.
+
+Transactions are counted per warp instruction at 32-byte sector granularity
+(the V100's L2 sector size), with a two-level write-back hierarchy:
+
+* **L1** (per thread block in this model): read-allocate on loads,
+  write-allocate-without-fetch on stores; dirty sectors spill to L2 on
+  eviction and when the block finishes.
+* **L2** (shared, persists across blocks of one launch): same policy;
+  dirty evictions and the final flush are DRAM write transactions, read
+  misses are DRAM read transactions.
+
+This reproduces the behaviours the paper's optimization targets:
+
+* coalesced warp accesses touch few sectors (cheap),
+* per-thread-sequential accesses get L1 reuse,
+* neighbouring blocks combine scattered stores in L2 *only while the
+  working set between revisits fits* — large tensors with bad layouts pay
+  real read/write amplification, exactly the cases influenced scheduling
+  fixes,
+* repeated accumulator stores (fused reductions) combine in L1.
+
+The issue-cost side (transaction replays for uncoalesced instructions) is
+captured by ``sectors_touched`` independently of cache hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class SectorCache:
+    """An LRU write-back cache of memory sectors."""
+
+    def __init__(self, capacity_bytes: int, sector_bytes: int):
+        if capacity_bytes <= 0 or sector_bytes <= 0:
+            raise ValueError("capacity and sector size must be positive")
+        self.capacity_sectors = max(1, capacity_bytes // sector_bytes)
+        self.sector_bytes = sector_bytes
+        self._sectors: OrderedDict[int, bool] = OrderedDict()  # sector -> dirty
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, sector: int) -> tuple[bool, Optional[int]]:
+        """Read one sector.
+
+        Returns ``(hit, evicted_dirty_sector)``; on a miss the sector is
+        allocated and the eviction (if any, and dirty) is reported so the
+        caller can spill it to the next level.
+        """
+        if sector in self._sectors:
+            self._sectors.move_to_end(sector)
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        return False, self._insert(sector, dirty=False)
+
+    def store(self, sector: int) -> Optional[int]:
+        """Write one sector (write-allocate without fetch); returns an
+        evicted dirty sector to spill, if any."""
+        if sector in self._sectors:
+            self._sectors[sector] = True
+            self._sectors.move_to_end(sector)
+            return None
+        return self._insert(sector, dirty=True)
+
+    def _insert(self, sector: int, dirty: bool) -> Optional[int]:
+        self._sectors[sector] = dirty
+        if len(self._sectors) > self.capacity_sectors:
+            victim, was_dirty = self._sectors.popitem(last=False)
+            if was_dirty:
+                return victim
+        return None
+
+    def flush(self) -> list[int]:
+        """Return (and clean) every dirty sector."""
+        dirty = [s for s, d in self._sectors.items() if d]
+        for sector in dirty:
+            self._sectors[sector] = False
+        return dirty
+
+    def reset(self) -> None:
+        self._sectors.clear()
+
+    def clear_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """L1 (per block) + L2 (per launch) with DRAM transaction counting."""
+
+    def __init__(self, l1_bytes: int, l2_bytes: int, sector_bytes: int):
+        self.l1 = SectorCache(l1_bytes, sector_bytes)
+        self.l2 = SectorCache(l2_bytes, sector_bytes)
+        self.sector_bytes = sector_bytes
+        self.dram_reads = 0
+        self.dram_writes = 0
+
+    # -- sector operations ---------------------------------------------------
+
+    def load_sector(self, sector: int) -> None:
+        hit, spilled = self.l1.load(sector)
+        if spilled is not None:
+            self._l2_store(spilled)
+        if hit:
+            return
+        l2_hit, l2_evicted = self.l2.load(sector)
+        if l2_evicted is not None:
+            self.dram_writes += 1
+        if not l2_hit:
+            self.dram_reads += 1
+
+    def store_sector(self, sector: int) -> None:
+        spilled = self.l1.store(sector)
+        if spilled is not None:
+            self._l2_store(spilled)
+
+    def _l2_store(self, sector: int) -> None:
+        evicted = self.l2.store(sector)
+        if evicted is not None:
+            self.dram_writes += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def end_block(self) -> None:
+        """A thread block finished: spill its L1 to L2 and recycle L1."""
+        for sector in self.l1.flush():
+            self._l2_store(sector)
+        self.l1.reset()
+
+    def end_kernel(self) -> None:
+        """The launch finished: write back everything still dirty in L2."""
+        self.end_block()
+        self.dram_writes += len(self.l2.flush())
+
+    @property
+    def dram_transactions(self) -> int:
+        return self.dram_reads + self.dram_writes
+
+
+@dataclass
+class WarpAccessResult:
+    """Outcome of one warp memory instruction."""
+
+    sectors_touched: int      # unique sectors across the warp
+    bytes_requested: int      # useful bytes moved by the instruction
+
+
+def warp_access(memory: MemoryHierarchy,
+                lane_ranges: Iterable[tuple[int, int]],
+                is_write: bool) -> WarpAccessResult:
+    """Simulate one warp memory instruction.
+
+    ``lane_ranges`` lists ``(byte_address, n_bytes)`` per active lane (a
+    vector access is one lane range of 8/16 bytes).
+    """
+    sector_size = memory.sector_bytes
+    sectors: set[int] = set()
+    requested = 0
+    for address, n_bytes in lane_ranges:
+        if n_bytes <= 0:
+            raise ValueError("lane access must move at least one byte")
+        requested += n_bytes
+        first = address // sector_size
+        last = (address + n_bytes - 1) // sector_size
+        sectors.update(range(first, last + 1))
+    if not sectors:
+        return WarpAccessResult(0, 0)
+
+    if is_write:
+        for sector in sectors:
+            memory.store_sector(sector)
+    else:
+        for sector in sorted(sectors):
+            memory.load_sector(sector)
+    return WarpAccessResult(len(sectors), requested)

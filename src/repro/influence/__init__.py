@@ -1,0 +1,42 @@
+"""Influence constraint trees and the non-linear optimizer that builds them.
+
+* :mod:`repro.influence.tree` — the influence constraint tree abstraction of
+  Section IV-A-4 (Fig. 3): an ordered tree of prioritized constraint sets
+  over schedule coefficients, spanning multiple scheduling dimensions.
+* :mod:`repro.influence.scenarios` — Algorithm 2: the non-linear cost model
+  (``cost()``/``best()``) that picks *influenced dimension scenarios* for
+  load/store vectorization on GPU (Section V).
+* :mod:`repro.influence.builder` — translates scenarios into an influence
+  constraint tree, adding higher-priority fusion variants and lower-priority
+  relaxed variants, ordering siblings by the cost function.
+"""
+
+from repro.influence.tree import (
+    InfluenceNode,
+    InfluenceTree,
+    TreeCursor,
+    theta_const,
+    theta_iter,
+    theta_param,
+)
+from repro.influence.scenarios import (
+    CostWeights,
+    DimensionScenario,
+    build_scenarios,
+    dimension_cost,
+)
+from repro.influence.builder import build_influence_tree
+
+__all__ = [
+    "InfluenceNode",
+    "InfluenceTree",
+    "TreeCursor",
+    "theta_iter",
+    "theta_param",
+    "theta_const",
+    "CostWeights",
+    "DimensionScenario",
+    "build_scenarios",
+    "dimension_cost",
+    "build_influence_tree",
+]

@@ -1,0 +1,190 @@
+"""Translate influenced dimension scenarios into an influence constraint tree.
+
+Following Section V: a scenario pins the anchor statement's last schedule
+dimensions to its chosen iterators (coefficient 1 for the chosen iterator,
+0 for the other scenario iterators) and zeroes the scenario iterators on all
+earlier dimensions.  For each scenario we emit:
+
+* a higher-priority *fused* variant that additionally equates the schedule
+  coefficients of same-named iterators across statements on the leading
+  dimensions (influencing towards loop fusion), and
+* a lower-priority *solo* variant carrying only the vectorization-related
+  constraints (leaving the other statements free).
+
+Branches from different scenarios share their common constraint prefixes
+("the tree is built by considering common constraints to different
+scenarios") and siblings are ordered by the cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.influence.scenarios import (
+    CostWeights,
+    DimensionScenario,
+    build_scenarios,
+)
+from repro.influence.tree import (
+    InfluenceNode,
+    InfluenceTree,
+    theta_const,
+    theta_iter,
+    theta_param,
+)
+from repro.ir.kernel import Kernel
+from repro.ir.statement import Statement
+from repro.solver.problem import Constraint, LinExpr, var
+
+
+@dataclass
+class _NodeSpec:
+    """Blueprint of one tree node before trie merging."""
+
+    constraints: list[Constraint] = field(default_factory=list)
+    mark_vector: bool = False
+    vector_width: int = 0
+    allow_zero: frozenset = frozenset()
+    label: str = ""
+
+    def signature(self) -> tuple:
+        sigs = tuple(sorted(
+            (c.sense, tuple(sorted(c.expr.coeffs.items())), c.expr.const)
+            for c in self.constraints))
+        return (sigs, self.mark_vector, self.vector_width, self.allow_zero)
+
+
+def _scenario_node_constraints(statement: Statement,
+                               scenario: DimensionScenario,
+                               depth: int) -> list[Constraint]:
+    """Constraints the scenario imposes on tree depth ``depth`` for the
+    anchor statement."""
+    n_dims = statement.depth
+    first_pinned = n_dims - len(scenario.dims)
+    constraints: list[Constraint] = []
+    if depth >= n_dims:
+        return constraints
+    index_of = {it: k for k, it in enumerate(statement.iterators)}
+    if depth < first_pinned:
+        for it in scenario.dims:
+            constraints.append(
+                var(theta_iter(statement.name, depth, index_of[it])).eq(0))
+        return constraints
+    chosen = scenario.dims[depth - first_pinned]
+    constraints.append(
+        var(theta_iter(statement.name, depth, index_of[chosen])).eq(1))
+    for it in scenario.dims:
+        if it != chosen:
+            constraints.append(
+                var(theta_iter(statement.name, depth, index_of[it])).eq(0))
+    if depth == n_dims - 1:
+        # The innermost dimension must be the pure chosen iterator so the
+        # backend can rewrite it with vector types.
+        for it in statement.iterators:
+            if it not in scenario.dims:
+                constraints.append(
+                    var(theta_iter(statement.name, depth, index_of[it])).eq(0))
+    return constraints
+
+
+def _fusion_constraints(anchor: Statement, other: Statement,
+                        depth: int) -> list[Constraint]:
+    """Equate the coefficients of same-named iterators (and parameters) of
+    ``other`` with the anchor's at one leading dimension."""
+    if depth >= other.depth or depth >= anchor.depth:
+        return []
+    anchor_index = {it: k for k, it in enumerate(anchor.iterators)}
+    other_index = {it: k for k, it in enumerate(other.iterators)}
+    constraints = []
+    for it, k_other in other_index.items():
+        if it in anchor_index:
+            lhs = var(theta_iter(other.name, depth, k_other))
+            rhs = var(theta_iter(anchor.name, depth, anchor_index[it]))
+            constraints.append((lhs - rhs).eq(0))
+    return constraints
+
+
+def _pick_anchor(kernel: Kernel) -> Statement:
+    """The statement whose vectorization matters most: deepest, then most
+    accesses, then latest in textual order (outputs tend to come last)."""
+    return max(kernel.statements,
+               key=lambda s: (s.depth, len(s.accesses),
+                              kernel.statements.index(s)))
+
+
+def build_influence_tree(kernel: Kernel,
+                         scenarios: Optional[dict[str, list[DimensionScenario]]] = None,
+                         weights: CostWeights = CostWeights(),
+                         thread_limit: int = 1024,
+                         max_branches: int = 8,
+                         fuse_variants: bool = True) -> InfluenceTree:
+    """Build the influence constraint tree for a kernel (Section V)."""
+    if scenarios is None:
+        scenarios = build_scenarios(kernel, weights=weights,
+                                    thread_limit=thread_limit)
+    anchor = _pick_anchor(kernel)
+    anchor_scenarios = scenarios.get(anchor.name, [])
+    max_depth = max(s.depth for s in kernel.statements)
+    others = [s for s in kernel.statements if s.name != anchor.name]
+
+    branches: list[list[_NodeSpec]] = []
+    for rank, scenario in enumerate(anchor_scenarios):
+        variants = ["fused", "solo"] if (fuse_variants and others) else ["solo"]
+        for variant in variants:
+            chain: list[_NodeSpec] = []
+            for depth in range(max_depth):
+                spec = _NodeSpec(
+                    label=f"{variant}/{scenario.innermost}/d{depth}")
+                spec.constraints.extend(
+                    _scenario_node_constraints(anchor, scenario, depth))
+                if variant == "fused":
+                    # When the anchor's row at this depth is pinned to an
+                    # iterator a producer does not have, let that producer
+                    # take a zero (scalar) row: it will sit at a constant
+                    # time inside the consumer's loop (the Fig. 2(c) shape).
+                    first_pinned = anchor.depth - len(scenario.dims)
+                    chosen = None
+                    if first_pinned <= depth < anchor.depth:
+                        chosen = scenario.dims[depth - first_pinned]
+                    exempt = set()
+                    for other in others:
+                        spec.constraints.extend(
+                            _fusion_constraints(anchor, other, depth))
+                        if chosen is not None and \
+                                chosen not in other.iterators:
+                            exempt.add(other.name)
+                    spec.allow_zero = frozenset(exempt)
+                if depth == anchor.depth - 1 and scenario.vectorizable:
+                    spec.mark_vector = True
+                    spec.vector_width = scenario.vector_width
+                chain.append(spec)
+            branches.append(chain)
+            if len(branches) >= max_branches:
+                break
+        if len(branches) >= max_branches:
+            break
+
+    tree = InfluenceTree()
+    for chain in branches:
+        node = tree.root
+        for spec in chain:
+            existing = next(
+                (child for child in node.children
+                 if _NodeSpec(child.constraints, child.mark_vector,
+                              child.vector_width,
+                              child.allow_zero).signature()
+                 == spec.signature()),
+                None)
+            if existing is not None:
+                node = existing
+                continue
+            child = InfluenceNode(
+                constraints=list(spec.constraints),
+                mark_vector=spec.mark_vector,
+                vector_width=spec.vector_width,
+                allow_zero=spec.allow_zero,
+                label=spec.label)
+            node = node.add_child(child)
+    tree.validate()
+    return tree

@@ -1,0 +1,24 @@
+"""Program intermediate representation for fused AI/DL operators.
+
+A :class:`~repro.ir.kernel.Kernel` is the unit the polyhedral pipeline
+consumes: a list of statements, each with an iteration domain (a
+:class:`~repro.sets.Polyhedron` over its iterators and the kernel's
+parameters), affine tensor accesses, and an original (textual) execution
+order encoded 2d+1-style through per-statement beta vectors.
+
+The running example of the paper (Fig. 2(a), ``fused_mul_sub_mul_tensoradd``)
+is available from :func:`repro.ir.examples.running_example`.
+"""
+
+from repro.ir.types import DType, FLOAT16, FLOAT32, FLOAT64, INT32, INT8
+from repro.ir.tensor import Tensor
+from repro.ir.access import Access, parse_affine
+from repro.ir.statement import Statement
+from repro.ir.kernel import Kernel
+from repro.ir.kparser import KernelParseError, parse_kernel, parse_kernel_file
+
+__all__ = [
+    "DType", "FLOAT16", "FLOAT32", "FLOAT64", "INT32", "INT8",
+    "Tensor", "Access", "parse_affine", "Statement", "Kernel",
+    "KernelParseError", "parse_kernel", "parse_kernel_file",
+]

@@ -1,0 +1,158 @@
+"""Kernels: the compilation unit of the pipeline.
+
+A kernel bundles tensors, parameters (with their concrete values — fused
+AI/DL operators are shape-specialized) and statements.  The builder API
+turns bound descriptions like ``("i", 0, "N")`` into iteration-domain
+polyhedra.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.access import Access, Subscript, parse_affine
+from repro.ir.statement import Statement
+from repro.ir.tensor import Tensor
+from repro.ir.types import DType, FLOAT32
+from repro.sets.polyhedron import Polyhedron
+from repro.solver.problem import Constraint, LinExpr, var
+
+Bound = Union[int, str, LinExpr]
+
+
+def _bound_expr(bound: Bound) -> LinExpr:
+    if isinstance(bound, LinExpr):
+        return bound
+    if isinstance(bound, bool):
+        raise TypeError("boolean loop bound")
+    if isinstance(bound, int):
+        return LinExpr(const=bound)
+    return parse_affine(bound)
+
+
+class Kernel:
+    """A fused operator: tensors + parameters + statements."""
+
+    def __init__(self, name: str, params: Optional[dict[str, int]] = None):
+        self.name = name
+        self.params: dict[str, int] = dict(params or {})
+        for p, v in self.params.items():
+            if not p.isidentifier():
+                raise ValueError(f"bad parameter name {p!r}")
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"parameter {p} must have a positive value")
+        self.tensors: dict[str, Tensor] = {}
+        self.statements: list[Statement] = []
+
+    # -- declaration ---------------------------------------------------------
+
+    def add_tensor(self, name: str, shape: Sequence[int],
+                   dtype: DType = FLOAT32) -> Tensor:
+        """Declare a tensor; returns it."""
+        if name in self.tensors:
+            raise ValueError(f"tensor {name!r} already declared")
+        tensor = Tensor(name, tuple(shape), dtype)
+        self.tensors[name] = tensor
+        return tensor
+
+    def add_statement(self, name: str,
+                      iters: Sequence[tuple[str, Bound, Bound]],
+                      writes: Sequence[tuple[str, Sequence[Subscript]]],
+                      reads: Sequence[tuple[str, Sequence[Subscript]]] = (),
+                      betas: Optional[Sequence[int]] = None,
+                      flops: int = 1) -> Statement:
+        """Add a statement.
+
+        ``iters`` lists ``(iterator, lower, upper)`` with a *half-open*
+        range ``lower <= iterator < upper``; bounds may reference parameters
+        and outer iterators.  ``writes``/``reads`` are
+        ``(tensor_name, subscripts)`` pairs.  ``betas`` defaults to placing
+        the statement in its own loop nest after all previous statements,
+        which matches the shape of fused operators emitted by graph-kernel
+        fusion (a sequence of per-operator nests, as in Fig. 2(a)).
+        """
+        if any(s.name == name for s in self.statements):
+            raise ValueError(f"statement {name!r} already exists")
+        iterator_names = [it for it, _, _ in iters]
+        dims = iterator_names + [p for p in self.params if p not in iterator_names]
+        constraints: list[Constraint] = []
+        for it, lower, upper in iters:
+            lo = _bound_expr(lower)
+            hi = _bound_expr(upper)
+            self._check_names(name, lo.variables() | hi.variables(), dims)
+            constraints.append(var(it) - lo >= 0)
+            constraints.append(hi - var(it) - 1 >= 0)
+        domain = Polyhedron(dims, constraints)
+
+        def build_accesses(specs, is_write):
+            out = []
+            for tensor_name, subscripts in specs:
+                if tensor_name not in self.tensors:
+                    raise KeyError(f"unknown tensor {tensor_name!r} in {name}")
+                access = Access.build(self.tensors[tensor_name], subscripts,
+                                      is_write=is_write)
+                self._check_names(name, access.variables(), dims)
+                out.append(access)
+            return out
+
+        if betas is None:
+            betas = [len(self.statements)] + [0] * len(iterator_names)
+        statement = Statement(
+            name=name,
+            iterators=iterator_names,
+            domain=domain,
+            writes=build_accesses(writes, True),
+            reads=build_accesses(reads, False),
+            betas=list(betas),
+            flops=flops,
+        )
+        self.statements.append(statement)
+        return statement
+
+    def _check_names(self, stmt: str, names: set[str], dims: list[str]) -> None:
+        unknown = names - set(dims)
+        if unknown:
+            raise ValueError(f"{stmt}: unknown names {sorted(unknown)} "
+                             f"(declare parameters on the kernel)")
+
+    # -- queries -----------------------------------------------------------------
+
+    def statement(self, name: str) -> Statement:
+        for s in self.statements:
+            if s.name == name:
+                return s
+        raise KeyError(f"no statement {name!r} in kernel {self.name}")
+
+    @property
+    def parameter_names(self) -> list[str]:
+        return list(self.params)
+
+    def total_bytes_touched(self) -> int:
+        """Footprint of all distinct tensors referenced by the kernel."""
+        seen = set()
+        total = 0
+        for s in self.statements:
+            for a in s.accesses:
+                if a.tensor.name not in seen:
+                    seen.add(a.tensor.name)
+                    total += a.tensor.n_bytes
+        return total
+
+    def validate(self) -> None:
+        """Check consistency invariants; raises ValueError on violation."""
+        if not self.statements:
+            raise ValueError(f"kernel {self.name} has no statements")
+        for s in self.statements:
+            for p in s.parameters:
+                if p not in self.params:
+                    raise ValueError(f"{s.name}: domain parameter {p} "
+                                     f"has no concrete value")
+            bound = s.domain.with_constraints(
+                [var(p).eq(v) for p, v in self.params.items()
+                 if p in s.domain.dims])
+            if bound.is_empty():
+                raise ValueError(f"{s.name}: empty iteration domain")
+
+    def __str__(self):
+        stmts = ", ".join(s.name for s in self.statements)
+        return f"Kernel({self.name}: {stmts})"

@@ -1,0 +1,185 @@
+"""A compact textual format for fused-operator kernels.
+
+Grammar (line based; ``#`` starts a comment)::
+
+    kernel NAME (PARAM=INT, ...)
+    tensor NAME[EXTENT]...[EXTENT] [: DTYPE]
+    STMT[it: LO..HI, ...] [flops=INT]: OUT[SUB]... = f(IN[SUB]..., ...)
+
+* extents are integers or parameter names;
+* iterator ranges are half-open (``0..N`` means ``0 <= it < N``) and the
+  bounds may be affine expressions of parameters and outer iterators;
+* subscripts are affine expressions (``i``, ``k+1``, ``2*i``);
+* everything right of ``=`` must be wrapped in a single call ``f(...)``
+  whose arguments are the read accesses (the function name is decorative —
+  the IR only models the memory behaviour, as the paper's scheduler does).
+
+Example::
+
+    kernel fused_mul_sub_mul_tensoradd (N=64)
+    tensor A[N][N]
+    tensor B[N][N]
+    tensor C[N][N]
+    tensor D[N][N][N]
+    X[i: 0..N, k: 0..N]: B[i][k] = f(A[i][k])
+    Y[i: 0..N, j: 0..N, k: 0..N] flops=3: C[i][j] = g(C[i][j], B[i][k], D[k][i][j])
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, FLOAT16, FLOAT32, FLOAT64, INT32, INT8
+
+
+class KernelParseError(Exception):
+    """Syntax or semantic error in a kernel description."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_DTYPES: dict[str, DType] = {
+    "float16": FLOAT16, "float32": FLOAT32, "float64": FLOAT64,
+    "int32": INT32, "int8": INT8,
+    "f16": FLOAT16, "f32": FLOAT32, "f64": FLOAT64,
+}
+
+_KERNEL_RE = re.compile(
+    r"^kernel\s+(?P<name>\w+)\s*(?:\((?P<params>[^)]*)\))?\s*$")
+_TENSOR_RE = re.compile(
+    r"^tensor\s+(?P<name>\w+)\s*(?P<dims>(?:\[[^\]]+\])+)\s*"
+    r"(?::\s*(?P<dtype>\w+))?\s*$")
+_STMT_RE = re.compile(
+    r"^(?P<name>\w+)\s*\[(?P<iters>[^\]]*)\]\s*"
+    r"(?:flops\s*=\s*(?P<flops>\d+)\s*)?:\s*(?P<body>.+)$")
+_ACCESS_RE = re.compile(r"(?P<tensor>\w+)\s*(?P<subs>(?:\[[^\]]*\])+)")
+_BRACKET_RE = re.compile(r"\[([^\]]*)\]")
+
+
+def _parse_params(text: Optional[str], line_no: int) -> dict[str, int]:
+    params: dict[str, int] = {}
+    if not text or not text.strip():
+        return params
+    for item in text.split(","):
+        if "=" not in item:
+            raise KernelParseError(line_no,
+                                   f"expected PARAM=INT, got {item.strip()!r}")
+        name, _, value = item.partition("=")
+        name = name.strip()
+        try:
+            params[name] = int(value.strip())
+        except ValueError as exc:
+            raise KernelParseError(
+                line_no, f"parameter {name!r} needs an integer value") from exc
+    return params
+
+
+def _parse_extent(text: str, params: dict[str, int],
+                  line_no: int) -> int:
+    text = text.strip()
+    if text.isdigit():
+        return int(text)
+    if text in params:
+        return params[text]
+    raise KernelParseError(
+        line_no, f"tensor extent {text!r} is neither an integer nor a "
+                 f"declared parameter")
+
+
+def _parse_accesses(text: str, line_no: int) -> list[tuple[str, list[str]]]:
+    out = []
+    for m in _ACCESS_RE.finditer(text):
+        subs = _BRACKET_RE.findall(m.group("subs"))
+        if any(not s.strip() for s in subs):
+            raise KernelParseError(line_no, f"empty subscript in {m.group(0)!r}")
+        out.append((m.group("tensor"), [s.strip() for s in subs]))
+    return out
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse a kernel description; raises :class:`KernelParseError`."""
+    kernel: Optional[Kernel] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("kernel"):
+            m = _KERNEL_RE.match(line)
+            if not m:
+                raise KernelParseError(line_no, "malformed kernel header")
+            if kernel is not None:
+                raise KernelParseError(line_no, "duplicate kernel header")
+            kernel = Kernel(m.group("name"),
+                            params=_parse_params(m.group("params"), line_no))
+            continue
+
+        if kernel is None:
+            raise KernelParseError(line_no,
+                                   "the file must start with a kernel header")
+
+        if line.startswith("tensor"):
+            m = _TENSOR_RE.match(line)
+            if not m:
+                raise KernelParseError(line_no, "malformed tensor declaration")
+            extents = [_parse_extent(e, kernel.params, line_no)
+                       for e in _BRACKET_RE.findall(m.group("dims"))]
+            dtype_name = m.group("dtype") or "float32"
+            dtype = _DTYPES.get(dtype_name.lower())
+            if dtype is None:
+                raise KernelParseError(
+                    line_no, f"unknown dtype {dtype_name!r} "
+                             f"(known: {sorted(set(_DTYPES))})")
+            try:
+                kernel.add_tensor(m.group("name"), extents, dtype)
+            except ValueError as exc:
+                raise KernelParseError(line_no, str(exc)) from exc
+            continue
+
+        m = _STMT_RE.match(line)
+        if not m:
+            raise KernelParseError(line_no, f"unrecognized line {line!r}")
+        iters = []
+        for item in m.group("iters").split(","):
+            item = item.strip()
+            if not item:
+                continue
+            im = re.match(r"^(\w+)\s*:\s*(.+?)\s*\.\.\s*(.+)$", item)
+            if not im:
+                raise KernelParseError(
+                    line_no, f"expected 'it: lo..hi', got {item!r}")
+            lo, hi = im.group(2).strip(), im.group(3).strip()
+            iters.append((im.group(1),
+                          int(lo) if lo.lstrip("-").isdigit() else lo,
+                          int(hi) if hi.lstrip("-").isdigit() else hi))
+        body = m.group("body")
+        if "=" not in body:
+            raise KernelParseError(line_no, "statement body needs '='")
+        left, _, right = body.partition("=")
+        writes = _parse_accesses(left, line_no)
+        if not writes:
+            raise KernelParseError(line_no, "no write access before '='")
+        call = re.match(r"^\s*\w+\s*\((?P<args>.*)\)\s*$", right)
+        reads_text = call.group("args") if call else right
+        reads = _parse_accesses(reads_text, line_no)
+        try:
+            kernel.add_statement(
+                m.group("name"), iters, writes=writes, reads=reads,
+                flops=int(m.group("flops") or 1))
+        except (ValueError, KeyError) as exc:
+            raise KernelParseError(line_no, str(exc)) from exc
+
+    if kernel is None:
+        raise KernelParseError(0, "empty kernel description")
+    kernel.validate()
+    return kernel
+
+
+def parse_kernel_file(path) -> Kernel:
+    """Parse a kernel description from a file path."""
+    with open(path) as handle:
+        return parse_kernel(handle.read())

@@ -1,0 +1,58 @@
+"""Tensor declarations.
+
+Shapes are concrete integers: fused AI/DL operators are compiled for static
+shapes (as in AKG/MindSpore, where the graph is shape-specialized before
+kernel generation).  Iteration domains may still be written over symbolic
+parameters; the kernel records the binding from parameter names to the
+concrete extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.types import DType, FLOAT32
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """An n-dimensional row-major tensor."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = FLOAT32
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise ValueError(f"bad tensor name {self.name!r}")
+        if not self.shape:
+            raise ValueError("tensors must have at least one dimension")
+        for extent in self.shape:
+            if not isinstance(extent, int) or extent <= 0:
+                raise ValueError(f"bad extent {extent!r} in tensor {self.name}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_elements(self) -> int:
+        n = 1
+        for extent in self.shape:
+            n *= extent
+        return n
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_elements * self.dtype.size_bytes
+
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides in *elements* (innermost subscript has stride 1)."""
+        strides = [1] * self.rank
+        for d in range(self.rank - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        return tuple(strides)
+
+    def __str__(self):
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{self.name}[{dims}]:{self.dtype}"

@@ -1,0 +1,44 @@
+"""Element types for tensors.
+
+The GPU backend cares about two properties: the element size in bytes (it
+determines how many lanes fit a 64/128-bit vector load) and a display name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self):
+        if self.size_bytes not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported element size {self.size_bytes}")
+
+    def vector_widths(self, max_bits: int = 128) -> list[int]:
+        """Lane counts usable for vector-type loads/stores of this dtype.
+
+        CUDA vector types move 64 or 128 bits per instruction; the paper
+        restricts lane counts to 2 and 4 (3 unsupported, §V condition (b)).
+        """
+        widths = []
+        for lanes in (2, 4):
+            if lanes * self.size_bytes * 8 in (64, 128) and \
+                    lanes * self.size_bytes * 8 <= max_bits:
+                widths.append(lanes)
+        return widths
+
+    def __str__(self):
+        return self.name
+
+
+FLOAT16 = DType("float16", 2)
+FLOAT32 = DType("float32", 4)
+FLOAT64 = DType("float64", 8)
+INT32 = DType("int32", 4)
+INT8 = DType("int8", 1)

@@ -1,0 +1,87 @@
+"""Small helpers for exact rational vectors.
+
+Vectors are plain Python lists (or tuples) of :class:`fractions.Fraction`.
+Keeping them as built-in sequences keeps the solver code simple and makes the
+structures trivially hashable/serializable when converted to tuples.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Sequence
+
+Rat = Fraction
+
+
+def frac(value) -> Fraction:
+    """Coerce ``value`` (int, str, float-free) to an exact :class:`Fraction`.
+
+    Floats are rejected on purpose: silently converting binary floats would
+    smuggle rounding error into the exact pipeline.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not rational scalars")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot build an exact rational from {value!r}")
+
+
+def vec_add(a: Sequence[Fraction], b: Sequence[Fraction]) -> list[Fraction]:
+    """Return ``a + b`` element-wise."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return [x + y for x, y in zip(a, b)]
+
+
+def vec_sub(a: Sequence[Fraction], b: Sequence[Fraction]) -> list[Fraction]:
+    """Return ``a - b`` element-wise."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return [x - y for x, y in zip(a, b)]
+
+
+def vec_scale(a: Sequence[Fraction], k) -> list[Fraction]:
+    """Return ``k * a``."""
+    k = frac(k)
+    return [k * x for x in a]
+
+
+def vec_dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
+    """Return the dot product of ``a`` and ``b``."""
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return sum((x * y for x, y in zip(a, b)), Fraction(0))
+
+
+def is_zero_vector(a: Iterable[Fraction]) -> bool:
+    """True iff every component of ``a`` is zero."""
+    return all(x == 0 for x in a)
+
+
+def clear_denominators(a: Sequence[Fraction]) -> list[int]:
+    """Scale ``a`` by the lcm of its denominators and return integer entries."""
+    lcm = 1
+    for x in a:
+        d = frac(x).denominator
+        lcm = lcm * d // gcd(lcm, d)
+    return [int(frac(x) * lcm) for x in a]
+
+
+def primitive(a: Sequence[Fraction]) -> list[int]:
+    """Return the primitive integer vector proportional to ``a``.
+
+    The result has integer entries with gcd 1 and the same direction as
+    ``a`` (an all-zero vector is returned unchanged).
+    """
+    ints = clear_denominators(a)
+    g = 0
+    for x in ints:
+        g = gcd(g, abs(x))
+    if g <= 1:
+        return ints
+    return [x // g for x in ints]

@@ -1,0 +1,21 @@
+"""End-to-end compilation pipelines (the AKG stand-in of Fig. 1(b)).
+
+:class:`~repro.pipeline.akg.AkgPipeline` compiles a fused operator under
+the paper's four evaluation configurations:
+
+* ``isl``   — the baseline: isl-0.22-style scheduling as observed through
+  AKG (per-cluster scheduling with textual-order tie-breaks, no influence,
+  no vector types; multi-space operators distribute into several kernel
+  launches, reproducing Fig. 2(b));
+* ``tvm``   — the TVM manual-template baseline: per-statement kernels, each
+  with a stride-optimal manual loop order, no cross-operator fusion, no
+  vector types;
+* ``novec`` — influenced scheduling with the backend vectorization pass
+  disabled;
+* ``infl``  — the full approach: influence-tree scheduling + explicit
+  load/store vector types.
+"""
+
+from repro.pipeline.akg import AkgPipeline, CompiledOperator, OperatorTiming, VARIANTS
+
+__all__ = ["AkgPipeline", "CompiledOperator", "OperatorTiming", "VARIANTS"]

@@ -1,0 +1,198 @@
+"""The AKG-like compilation pipeline and its four evaluation variants."""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codegen.cuda import MappedKernel, map_to_gpu
+from repro.codegen.generate import generate_ast
+from repro.codegen.vectorize import vectorize
+from repro.codegen.ast import Loop, walk
+from repro.deps.analysis import compute_dependences
+from repro.gpu.arch import GpuArch, V100
+from repro.gpu.simulator import KernelProfile, simulate_kernel
+from repro.influence.builder import build_influence_tree
+from repro.influence.scenarios import CostWeights
+from repro.ir.kernel import Kernel
+from repro.ir.statement import Statement
+from repro.schedule.scheduler import (
+    InfluencedScheduler,
+    SchedulerOptions,
+    SchedulerStats,
+)
+
+VARIANTS = ("isl", "tvm", "novec", "infl")
+
+
+@dataclass
+class CompiledOperator:
+    """One fused operator compiled under one variant."""
+
+    kernel: Kernel
+    variant: str
+    launches: list[MappedKernel]
+    scheduler_stats: list[SchedulerStats] = field(default_factory=list)
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def vectorized(self) -> bool:
+        return any(isinstance(node, Loop) and node.vector
+                   for launch in self.launches
+                   for node in walk(launch.ast))
+
+    def signature(self) -> str:
+        """A stable textual signature of the compiled code (used to decide
+        whether influence actually modified the result vs the baseline).
+
+        Kernel names are normalized away so the per-cluster ``_k0`` suffixes
+        of the distributed baseline do not create spurious differences."""
+        parts = []
+        for launch in self.launches:
+            text = launch.emit_cuda().replace(launch.kernel.name, "<kernel>")
+            parts.append(text)
+        return "\n===\n".join(parts)
+
+
+@dataclass
+class OperatorTiming:
+    """Measured execution of one compiled operator."""
+
+    compiled: CompiledOperator
+    profiles: list[KernelProfile]
+
+    @property
+    def time(self) -> float:
+        return sum(p.time for p in self.profiles)
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(p.dram_bytes for p in self.profiles)
+
+
+def _domain_signature(statement: Statement) -> tuple:
+    """Iteration-space signature used for isl-style clustering."""
+    return (statement.depth, statement.domain.canonical()[1])
+
+
+def _adjacent_clusters(kernel: Kernel) -> list[list[Statement]]:
+    """Group textually adjacent statements with identical iteration spaces
+    (the fusion granularity we observed from isl-0.22 inside AKG: identical
+    spaces fuse into one kernel, space changes split the schedule as in
+    Fig. 2(b))."""
+    clusters: list[list[Statement]] = []
+    current: list[Statement] = []
+    current_sig = None
+    for statement in kernel.statements:
+        sig = _domain_signature(statement)
+        if current and sig == current_sig:
+            current.append(statement)
+        else:
+            if current:
+                clusters.append(current)
+            current = [statement]
+            current_sig = sig
+    if current:
+        clusters.append(current)
+    return clusters
+
+
+def _sub_kernel(kernel: Kernel, statements: list[Statement],
+                suffix: str) -> Kernel:
+    """A kernel view over a subset of statements (tensors shared)."""
+    sub = Kernel(f"{kernel.name}{suffix}", params=dict(kernel.params))
+    sub.tensors = dict(kernel.tensors)
+    sub.statements = list(statements)
+    return sub
+
+
+class AkgPipeline:
+    """Compile and measure fused operators under the four variants."""
+
+    def __init__(self, arch: GpuArch = V100, max_threads: int = 256,
+                 sample_blocks: int = 8,
+                 weights: CostWeights = CostWeights(),
+                 scheduler_options: Optional[SchedulerOptions] = None):
+        self.arch = arch
+        self.max_threads = max_threads
+        self.sample_blocks = sample_blocks
+        self.weights = weights
+        self.scheduler_options = scheduler_options or SchedulerOptions()
+        # novec/infl share scheduling; weak keys so entries die with their
+        # kernels (an id()-keyed dict would collide after GC reuses ids).
+        self._influenced_cache: "weakref.WeakKeyDictionary[Kernel, tuple]" = \
+            weakref.WeakKeyDictionary()
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, kernel: Kernel, variant: str) -> CompiledOperator:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        if variant == "isl":
+            return self._compile_clustered(kernel, _adjacent_clusters(kernel),
+                                           variant="isl", influence=False,
+                                           enable_vec=False)
+        if variant == "tvm":
+            clusters = [[s] for s in kernel.statements]
+            return self._compile_clustered(kernel, clusters, variant="tvm",
+                                           influence=True, enable_vec=False)
+        return self._compile_influenced(kernel, enable_vec=(variant == "infl"),
+                                        variant=variant)
+
+    def _compile_clustered(self, kernel: Kernel,
+                           clusters: list[list[Statement]], variant: str,
+                           influence: bool,
+                           enable_vec: bool) -> CompiledOperator:
+        launches = []
+        stats = []
+        for index, cluster in enumerate(clusters):
+            sub = _sub_kernel(kernel, cluster, f"_k{index}")
+            relations = compute_dependences(sub)
+            scheduler = InfluencedScheduler(sub, relations=relations,
+                                            options=self.scheduler_options)
+            tree = build_influence_tree(sub, weights=self.weights) \
+                if influence else None
+            schedule = scheduler.schedule(tree)
+            stats.append(scheduler.stats)
+            ast = generate_ast(sub, schedule)
+            ast = vectorize(ast, sub, schedule, relations, enable=enable_vec)
+            launches.append(map_to_gpu(sub, ast, schedule,
+                                       max_threads=self.max_threads))
+        return CompiledOperator(kernel=kernel, variant=variant,
+                                launches=launches, scheduler_stats=stats)
+
+    def _compile_influenced(self, kernel: Kernel, enable_vec: bool,
+                            variant: str) -> CompiledOperator:
+        # novec and infl share scheduling; cache the schedule per kernel.
+        cached = self._influenced_cache.get(kernel)
+        if cached is None:
+            relations = compute_dependences(kernel)
+            scheduler = InfluencedScheduler(kernel, relations=relations,
+                                            options=self.scheduler_options)
+            tree = build_influence_tree(kernel, weights=self.weights)
+            schedule = scheduler.schedule(tree)
+            cached = (relations, schedule, scheduler.stats)
+            self._influenced_cache[kernel] = cached
+        relations, schedule, stats = cached
+        ast = generate_ast(kernel, schedule)
+        ast = vectorize(ast, kernel, schedule, relations, enable=enable_vec)
+        mapped = map_to_gpu(kernel, ast, schedule,
+                            max_threads=self.max_threads)
+        return CompiledOperator(kernel=kernel, variant=variant,
+                                launches=[mapped], scheduler_stats=[stats])
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure(self, compiled: CompiledOperator) -> OperatorTiming:
+        profiles = [simulate_kernel(launch, arch=self.arch,
+                                    sample_blocks=self.sample_blocks)
+                    for launch in compiled.launches]
+        return OperatorTiming(compiled=compiled, profiles=profiles)
+
+    def compile_and_measure(self, kernel: Kernel,
+                            variant: str) -> OperatorTiming:
+        return self.measure(self.compile(kernel, variant))

@@ -1,0 +1,28 @@
+"""Affine scheduling with constraint injection (the paper's core).
+
+* :mod:`repro.schedule.functions` — schedule rows / transformation matrices
+  (Section III-B of the paper).
+* :mod:`repro.schedule.farkas` — the affine form of Farkas' lemma, used to
+  linearize "nonnegative over a polyhedron" conditions.
+* :mod:`repro.schedule.constraints` — the constraint builders of Section
+  IV-A: validity, proximity (isl-form cost), coincidence, progression.
+* :mod:`repro.schedule.scheduler` — Algorithm 1, the influenced scheduling
+  construction with its five-level backtracking ladder.
+"""
+
+from repro.schedule.functions import Schedule, ScheduleRow
+from repro.schedule.scheduler import (
+    InfluencedScheduler,
+    SchedulerOptions,
+    SchedulerStats,
+    SchedulingError,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduleRow",
+    "InfluencedScheduler",
+    "SchedulerOptions",
+    "SchedulerStats",
+    "SchedulingError",
+]

@@ -1,0 +1,165 @@
+"""The affine form of Farkas' lemma, applied to symbolic affine forms.
+
+The scheduling ILP must express conditions of the shape
+
+    e(x) >= 0   for every x in P,
+
+where ``P`` is a dependence polyhedron and ``e`` is an affine form of the
+polyhedron's dimensions whose *coefficients are unknowns* (schedule
+coefficients).  Farkas' lemma turns this universally quantified condition
+into existentially quantified linear constraints:
+
+    e(x) == lambda_0 + sum_k lambda_k * g_k(x),    lambda >= 0,
+
+where ``g_k(x) >= 0`` are the constraints of ``P``.  Matching coefficients
+dimension by dimension yields equality constraints linking the schedule
+unknowns and fresh multiplier variables.
+
+To keep the ILPs small we first eliminate polyhedron dimensions pinned by
+equality constraints (subscript equalities make most AI/DL dependence
+relations collapse drastically), substituting into the symbolic form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from repro.sets.polyhedron import Polyhedron
+from repro.solver.problem import Constraint, LinExpr, Problem, var
+
+
+@dataclass
+class SymbolicAffineForm:
+    """An affine form over polyhedron dims whose coefficients are LinExpr
+    over solver unknowns (schedule coefficients, bound coefficients...)."""
+
+    coeffs: dict[str, LinExpr] = field(default_factory=dict)
+    const: LinExpr = field(default_factory=LinExpr)
+
+    def copy(self) -> "SymbolicAffineForm":
+        return SymbolicAffineForm({k: v.copy() for k, v in self.coeffs.items()},
+                                  self.const.copy())
+
+    def add_term(self, dim: str, coeff: LinExpr) -> None:
+        current = self.coeffs.get(dim, LinExpr())
+        self.coeffs[dim] = current + coeff
+
+    def coefficient(self, dim: str) -> LinExpr:
+        return self.coeffs.get(dim, LinExpr())
+
+    @classmethod
+    def from_symbolic_expr(cls, dim_exprs: dict[str, LinExpr],
+                           const: Optional[LinExpr] = None) -> "SymbolicAffineForm":
+        return cls({d: e for d, e in dim_exprs.items()},
+                   const if const is not None else LinExpr())
+
+
+def _normalized_inequalities(poly: Polyhedron) -> tuple[list[LinExpr], list[LinExpr]]:
+    """Split constraints into (equalities, inequalities-as->=0), deduplicated."""
+    equalities: list[LinExpr] = []
+    inequalities: list[LinExpr] = []
+    seen = set()
+    for c in poly.constraints:
+        if c.sense == "==":
+            equalities.append(c.expr)
+            continue
+        expr = c.expr if c.sense == ">=" else -c.expr
+        key = (tuple(sorted(expr.coeffs.items())), expr.const)
+        if key not in seen:
+            seen.add(key)
+            inequalities.append(expr)
+    return equalities, inequalities
+
+
+def _eliminate_equalities(dims: list[str], equalities: list[LinExpr],
+                          inequalities: list[LinExpr],
+                          form: SymbolicAffineForm) -> tuple[list[str], list[LinExpr],
+                                                             SymbolicAffineForm]:
+    """Substitute away dims pinned by equalities, in both the inequality
+    system and the symbolic form.  Equalities that become variable-free must
+    be identically zero (otherwise the polyhedron was empty — callers only
+    pass non-empty relations)."""
+    dims = list(dims)
+    form = form.copy()
+    equalities = [e.copy() for e in equalities]
+    inequalities = [e.copy() for e in inequalities]
+
+    while equalities:
+        equality = equalities.pop()
+        pivot = next((d for d in dims if equality.coeffs.get(d)), None)
+        if pivot is None:
+            if equality.const != 0:
+                raise ValueError("inconsistent equality in non-empty polyhedron")
+            continue
+        k = equality.coeffs[pivot]
+        # pivot = substitution where equality = k*pivot + rest == 0.
+        rest = LinExpr({n: c for n, c in equality.coeffs.items() if n != pivot},
+                       equality.const)
+        substitution = (-1 / k) * rest
+
+        def substitute(expr: LinExpr) -> LinExpr:
+            c = expr.coeffs.get(pivot)
+            if not c:
+                return expr
+            without = LinExpr({n: v for n, v in expr.coeffs.items() if n != pivot},
+                              expr.const)
+            return without + c * substitution
+
+        equalities = [substitute(e) for e in equalities]
+        inequalities = [substitute(e) for e in inequalities]
+        # Substitute in the symbolic form: the (symbolic) coefficient of the
+        # pivot redistributes onto the substitution's dims and constant.
+        pivot_coeff = form.coeffs.pop(pivot, LinExpr())
+        for name, c in substitution.coeffs.items():
+            form.add_term(name, c * pivot_coeff)
+        form.const = form.const + substitution.const * pivot_coeff
+        dims.remove(pivot)
+
+    # Drop inequalities that became trivially true constants.
+    kept = []
+    for expr in inequalities:
+        live = {d for d in expr.coeffs if d in dims}
+        if not live:
+            if expr.const < 0:
+                raise ValueError("inconsistent inequality in non-empty polyhedron")
+            continue
+        kept.append(expr)
+    return dims, kept, form
+
+
+def add_farkas_nonneg(problem: Problem, prefix: str, poly: Polyhedron,
+                      form: SymbolicAffineForm) -> int:
+    """Add constraints to ``problem`` making ``form(x) >= 0`` hold on ``poly``.
+
+    Fresh continuous multipliers are named ``{prefix}.l{k}`` (and
+    ``{prefix}.l0`` for the constant multiplier).  Returns the number of
+    multiplier variables introduced.  ``prefix`` must be unique per call.
+    """
+    equalities, inequalities = _normalized_inequalities(poly)
+    dims, inequalities, form = _eliminate_equalities(
+        poly.dims, equalities, inequalities, form)
+
+    lambda0 = problem.add_variable(f"{prefix}.l0", lower=0, integer=False)
+    multipliers = []
+    for k, _ in enumerate(inequalities):
+        multipliers.append(
+            problem.add_variable(f"{prefix}.l{k + 1}", lower=0, integer=False))
+
+    # Coefficient matching per remaining dimension.
+    for dim in dims:
+        total = form.coefficient(dim)
+        for lam, g in zip(multipliers, inequalities):
+            c = g.coeffs.get(dim, Fraction(0))
+            if c:
+                total = total - c * lam
+        problem.add_constraint(total.eq(0))
+
+    # Constant matching.
+    total = form.const - lambda0
+    for lam, g in zip(multipliers, inequalities):
+        if g.const:
+            total = total - g.const * lam
+    problem.add_constraint(total.eq(0))
+    return len(multipliers) + 1

@@ -1,0 +1,94 @@
+"""Schedule serialization: Schedule <-> plain JSON-compatible dicts.
+
+Scheduling is the expensive phase of the pipeline (one ILP per dimension);
+serializing schedules lets callers cache them across runs, diff them, or
+ship them to other tools.  The format is stable and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.ir.kernel import Kernel
+from repro.schedule.functions import DimensionInfo, Schedule, ScheduleRow
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """A JSON-compatible representation of a schedule."""
+    return {
+        "version": FORMAT_VERSION,
+        "params": list(schedule.params),
+        "statements": {
+            s.name: [
+                {
+                    "iter_coeffs": list(row.iter_coeffs),
+                    "param_coeffs": list(row.param_coeffs),
+                    "const": row.const,
+                }
+                for row in schedule.rows[s.name]
+            ]
+            for s in schedule.statements
+        },
+        "dims": [
+            {
+                "coincident": info.coincident,
+                "parallel": info.parallel,
+                "band": info.band,
+                "vector": info.vector,
+                "vector_width": info.vector_width,
+                "from_influence": info.from_influence,
+            }
+            for info in schedule.dims
+        ],
+    }
+
+
+def schedule_from_dict(kernel: Kernel, payload: Mapping) -> Schedule:
+    """Rebuild a schedule for ``kernel`` from :func:`schedule_to_dict` output.
+
+    Raises ValueError on version/statement mismatches.
+    """
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported schedule format version "
+                         f"{payload.get('version')!r}")
+    params = list(payload["params"])
+    if params != kernel.parameter_names:
+        raise ValueError(f"parameter mismatch: schedule has {params}, "
+                         f"kernel has {kernel.parameter_names}")
+    names = {s.name for s in kernel.statements}
+    if set(payload["statements"]) != names:
+        raise ValueError("statement set mismatch between kernel and payload")
+
+    schedule = Schedule(kernel.statements, params)
+    n_dims = len(payload["dims"])
+    for name, rows in payload["statements"].items():
+        if len(rows) != n_dims:
+            raise ValueError(f"{name}: {len(rows)} rows vs {n_dims} dims")
+    for d in range(n_dims):
+        rows = {}
+        for s in kernel.statements:
+            raw = payload["statements"][s.name][d]
+            rows[s.name] = ScheduleRow.from_coeffs(
+                s, params, raw["iter_coeffs"], raw["param_coeffs"],
+                raw["const"])
+        meta = payload["dims"][d]
+        schedule.append_dimension(rows, DimensionInfo(
+            coincident=meta["coincident"],
+            parallel=meta["parallel"],
+            band=meta["band"],
+            vector=meta["vector"],
+            vector_width=meta["vector_width"],
+            from_influence=meta["from_influence"],
+        ))
+    return schedule
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    return json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True)
+
+
+def schedule_from_json(kernel: Kernel, text: str) -> Schedule:
+    return schedule_from_dict(kernel, json.loads(text))

@@ -1,0 +1,18 @@
+"""Affine sets: named-dimension polyhedra with exact operations.
+
+This is the (small) replacement for the subset of isl functionality the
+paper's system needs: building dependence polyhedra, testing emptiness, and
+eliminating dimensions to compute loop bounds during code generation.
+
+* :class:`repro.sets.polyhedron.Polyhedron` — a conjunction of affine
+  constraints over named dimensions.
+* Fourier–Motzkin elimination (:meth:`Polyhedron.eliminate`) and exact bound
+  extraction (:meth:`Polyhedron.bounds_of`).
+* Emptiness via the exact ILP core (with a rational fallback that is a safe
+  over-approximation for dependence testing).
+"""
+
+from repro.sets.polyhedron import Polyhedron
+from repro.solver.problem import LinExpr, Constraint, var
+
+__all__ = ["Polyhedron", "LinExpr", "Constraint", "var"]

@@ -1,0 +1,275 @@
+"""Polyhedra over named dimensions.
+
+A :class:`Polyhedron` is a conjunction of affine constraints (built with the
+:class:`repro.solver.problem.LinExpr` DSL) over an ordered list of named
+dimensions.  It supports the operations the polyhedral stack needs:
+
+* emptiness testing (integer, with a safe rational fallback),
+* dimension elimination (exact substitution through equalities, otherwise
+  Fourier–Motzkin),
+* bound extraction for code generation,
+* renaming / substitution / intersection.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from repro.solver.ilp import BranchLimitExceeded, integer_feasible
+from repro.solver.lp import LinearProgram, LPStatus, solve_lp
+from repro.solver.problem import Constraint, LinExpr, var
+
+# Memoized emptiness answers, keyed by canonical form.  Bounded; cleared
+# wholesale when it grows past the cap (simple and good enough here).
+_EMPTINESS_CACHE: dict = {}
+
+
+class Polyhedron:
+    """A conjunction of affine constraints over named dimensions."""
+
+    def __init__(self, dims: Sequence[str], constraints: Iterable[Constraint] = ()):
+        self.dims: list[str] = list(dims)
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"duplicate dimensions in {self.dims}")
+        self.constraints: list[Constraint] = []
+        for c in constraints:
+            self._check(c)
+            self.constraints.append(c)
+
+    def _check(self, constraint: Constraint) -> None:
+        extra = constraint.expr.variables() - set(self.dims)
+        if extra:
+            raise ValueError(f"constraint uses unknown dimensions {sorted(extra)}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def universe(cls, dims: Sequence[str]) -> "Polyhedron":
+        """The unconstrained set over ``dims``."""
+        return cls(dims)
+
+    def copy(self) -> "Polyhedron":
+        return Polyhedron(self.dims, list(self.constraints))
+
+    def with_constraints(self, constraints: Iterable[Constraint]) -> "Polyhedron":
+        """A new polyhedron with extra constraints added."""
+        out = self.copy()
+        for c in constraints:
+            out._check(c)
+            out.constraints.append(c)
+        return out
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        """Conjunction; the other polyhedron's dims must be a subset."""
+        missing = set(other.dims) - set(self.dims)
+        if missing:
+            raise ValueError(f"cannot intersect: unknown dims {sorted(missing)}")
+        return self.with_constraints(other.constraints)
+
+    def rename(self, mapping: dict[str, str]) -> "Polyhedron":
+        """Rename dimensions according to ``mapping`` (identity elsewhere)."""
+        new_dims = [mapping.get(d, d) for d in self.dims]
+        new_constraints = []
+        for c in self.constraints:
+            coeffs = {mapping.get(n, n): v for n, v in c.expr.coeffs.items()}
+            new_constraints.append(Constraint(LinExpr(coeffs, c.expr.const), c.sense))
+        return Polyhedron(new_dims, new_constraints)
+
+    # -- queries --------------------------------------------------------------
+
+    def _to_lp(self) -> LinearProgram:
+        index = {d: i for i, d in enumerate(self.dims)}
+        a_ub, b_ub, a_eq, b_eq = [], [], [], []
+        for c in self.constraints:
+            row = [Fraction(0)] * len(self.dims)
+            for name, coeff in c.expr.coeffs.items():
+                row[index[name]] = coeff
+            rhs = -c.expr.const
+            if c.sense == "<=":
+                a_ub.append(row)
+                b_ub.append(rhs)
+            elif c.sense == ">=":
+                a_ub.append([-x for x in row])
+                b_ub.append(-rhs)
+            else:
+                a_eq.append(row)
+                b_eq.append(rhs)
+        return LinearProgram(
+            objective=[Fraction(0)] * len(self.dims),
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            lower=[None] * len(self.dims), upper=[None] * len(self.dims),
+        )
+
+    def canonical(self) -> tuple:
+        """A hashable canonical form (dims + sorted constraint signatures)."""
+        sigs = []
+        for c in self.constraints:
+            coeffs = tuple(sorted(c.expr.coeffs.items()))
+            sigs.append((c.sense, coeffs, c.expr.const))
+        return (tuple(self.dims), tuple(sorted(sigs)))
+
+    def is_empty(self, integer: bool = True, max_nodes: int = 2000) -> bool:
+        """True iff the set contains no (integer) point.
+
+        When the branch-and-bound node budget is exhausted on an unbounded
+        integer problem we fall back to the rational answer, which can only
+        report *non*-empty for an integer-empty set — a safe over-
+        approximation for dependence analysis (at worst a spurious
+        dependence is kept).  Results are memoized on the canonical form:
+        the scheduler asks the same satisfaction questions many times.
+        """
+        key = (self.canonical(), integer)
+        cached = _EMPTINESS_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result = self._is_empty_uncached(integer, max_nodes)
+        if len(_EMPTINESS_CACHE) > 50_000:
+            _EMPTINESS_CACHE.clear()
+        _EMPTINESS_CACHE[key] = result
+        return result
+
+    def _is_empty_uncached(self, integer: bool, max_nodes: int) -> bool:
+        lp = self._to_lp()
+        result = solve_lp(lp)
+        if result.status is LPStatus.INFEASIBLE:
+            return True
+        if not integer:
+            return False
+        try:
+            return not integer_feasible(lp, max_nodes=max_nodes)
+        except BranchLimitExceeded:
+            return False  # rational-feasible; conservatively report non-empty
+
+    def contains(self, point: dict[str, Fraction]) -> bool:
+        """True iff ``point`` (a full assignment) satisfies every constraint."""
+        missing = set(self.dims) - set(point)
+        if missing:
+            raise KeyError(f"point misses dimensions {sorted(missing)}")
+        return all(c.satisfied_by(point) for c in self.constraints)
+
+    def sample(self, box: int = 1000) -> Optional[dict[str, Fraction]]:
+        """An integer point with all coordinates in ``[-box, box]`` or None."""
+        lp = self._to_lp()
+        boxed = LinearProgram(
+            objective=lp.objective,
+            a_ub=lp.a_ub, b_ub=lp.b_ub, a_eq=lp.a_eq, b_eq=lp.b_eq,
+            lower=[Fraction(-box)] * len(self.dims),
+            upper=[Fraction(box)] * len(self.dims),
+        )
+        from repro.solver.ilp import solve_ilp
+        result = solve_ilp(boxed)
+        if result.status is not LPStatus.OPTIMAL:
+            return None
+        return dict(zip(self.dims, result.x))
+
+    # -- elimination ------------------------------------------------------------
+
+    def _normalized(self) -> list[LinExpr]:
+        """All constraints as a list of ``expr >= 0`` forms (equalities give
+        two opposite inequalities)."""
+        out = []
+        for c in self.constraints:
+            if c.sense == ">=":
+                out.append(c.expr)
+            elif c.sense == "<=":
+                out.append(-c.expr)
+            else:
+                out.append(c.expr)
+                out.append(-c.expr)
+        return out
+
+    def eliminate(self, dim: str) -> "Polyhedron":
+        """Project out ``dim``.
+
+        If an equality constraint defines ``dim`` it is substituted exactly;
+        otherwise Fourier–Motzkin combines lower and upper bounds.  The
+        result is the rational shadow (exact for our use: loop bound
+        computation on full-dimensional schedules).
+        """
+        if dim not in self.dims:
+            raise ValueError(f"unknown dimension {dim!r}")
+
+        # Exact substitution through an equality when available.
+        for c in self.constraints:
+            if c.sense == "==" and c.expr.coeffs.get(dim):
+                coeff = c.expr.coeffs[dim]
+                # dim = rest / (-coeff) where expr = coeff*dim + rest == 0.
+                rest = LinExpr({n: v for n, v in c.expr.coeffs.items() if n != dim},
+                               c.expr.const)
+                substitution = rest * Fraction(-1, 1) * (1 / coeff)
+                new_constraints = []
+                for other in self.constraints:
+                    if other is c:
+                        continue
+                    k = other.expr.coeffs.get(dim, Fraction(0))
+                    if k == 0:
+                        new_constraints.append(other)
+                    else:
+                        without = LinExpr(
+                            {n: v for n, v in other.expr.coeffs.items() if n != dim},
+                            other.expr.const)
+                        new_constraints.append(
+                            Constraint(without + k * substitution, other.sense))
+                dims = [d for d in self.dims if d != dim]
+                return Polyhedron(dims, new_constraints)
+
+        lowers, uppers, others = [], [], []
+        for expr in self._normalized():
+            k = expr.coeffs.get(dim, Fraction(0))
+            if k == 0:
+                others.append(Constraint(expr, ">="))
+            elif k > 0:
+                # k*dim + rest >= 0  =>  dim >= -rest/k
+                rest = LinExpr({n: v for n, v in expr.coeffs.items() if n != dim},
+                               expr.const)
+                lowers.append((-1 / k) * rest)
+            else:
+                # k*dim + rest >= 0 with k<0  =>  dim <= rest/(-k)
+                rest = LinExpr({n: v for n, v in expr.coeffs.items() if n != dim},
+                               expr.const)
+                uppers.append((1 / -k) * rest)
+        combined = list(others)
+        for lo in lowers:
+            for hi in uppers:
+                combined.append(hi - lo >= 0)
+        dims = [d for d in self.dims if d != dim]
+        return Polyhedron(dims, combined)
+
+    def eliminate_all(self, dims: Sequence[str]) -> "Polyhedron":
+        """Project out several dimensions in order."""
+        out = self
+        for d in dims:
+            out = out.eliminate(d)
+        return out
+
+    def bounds_of(self, dim: str) -> tuple[list[LinExpr], list[LinExpr]]:
+        """Lower and upper affine bounds on ``dim`` from constraints that
+        mention only ``dim`` and other dimensions of this set.
+
+        Returns ``(lowers, uppers)``: lists of expressions over the other
+        dimensions such that ``max(lowers) <= dim <= min(uppers)``.
+        """
+        lowers, uppers = [], []
+        for expr in self._normalized():
+            k = expr.coeffs.get(dim, Fraction(0))
+            if k == 0:
+                continue
+            rest = LinExpr({n: v for n, v in expr.coeffs.items() if n != dim},
+                           expr.const)
+            if k > 0:
+                lowers.append((-1 / k) * rest)
+            else:
+                uppers.append((1 / -k) * rest)
+        return lowers, uppers
+
+    # -- misc ----------------------------------------------------------------------
+
+    def __repr__(self):
+        body = " and ".join(repr(c) for c in self.constraints) or "true"
+        return f"Polyhedron[{', '.join(self.dims)}]({body})"
+
+    def __eq__(self, other):
+        return (isinstance(other, Polyhedron)
+                and self.dims == other.dims
+                and self.constraints == other.constraints)

@@ -1,0 +1,125 @@
+"""Mixed-integer branch and bound on top of the exact simplex.
+
+Only the variables flagged in ``integer_mask`` are branched on; the rest
+(e.g. Farkas multipliers, which need not be integral) stay continuous.  All
+integer variables are expected to be bounded — the scheduling problems built
+by this library always bound schedule coefficients — which guarantees
+termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
+
+
+class BranchLimitExceeded(Exception):
+    """Raised when branch and bound explores more nodes than allowed."""
+
+
+def _is_integral(value: Fraction) -> bool:
+    return value.denominator == 1
+
+
+def _first_fractional(x: Sequence[Fraction], integer_mask: Sequence[bool]) -> Optional[int]:
+    for i, (v, is_int) in enumerate(zip(x, integer_mask)):
+        if is_int and not _is_integral(v):
+            return i
+    return None
+
+
+def solve_ilp(lp: LinearProgram,
+              integer_mask: Optional[Sequence[bool]] = None,
+              max_nodes: int = 100_000) -> LPResult:
+    """Solve a mixed-integer program by branch and bound.
+
+    ``integer_mask[i]`` marks variable ``i`` as integral (all variables by
+    default).  Returns an :class:`LPResult` whose ``x`` satisfies the
+    integrality requirements, or status INFEASIBLE/UNBOUNDED.
+    """
+    if integer_mask is None:
+        integer_mask = [True] * lp.n_vars
+    if len(integer_mask) != lp.n_vars:
+        raise ValueError("integer_mask length does not match variable count")
+
+    root = solve_lp(lp)
+    if root.status is not LPStatus.OPTIMAL:
+        return root
+
+    best: Optional[LPResult] = None
+    # Stack of (lower bounds, upper bounds) overrides; depth-first search.
+    stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
+    nodes = 0
+
+    while stack:
+        lower, upper = stack.pop()
+        nodes += 1
+        if nodes > max_nodes:
+            raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+        node_lp = replace(lp, lower=list(lower), upper=list(upper))
+        result = solve_lp(node_lp)
+        if result.status is not LPStatus.OPTIMAL:
+            continue
+        if best is not None and result.objective >= best.objective:
+            continue  # bound: the relaxation cannot beat the incumbent
+        branch_var = _first_fractional(result.x, integer_mask)
+        if branch_var is None:
+            best = result
+            continue
+        value = result.x[branch_var]
+        floor_val = Fraction(value.numerator // value.denominator)
+        # Explore the floor side first (schedule coefficients tend small).
+        up_lower = list(lower)
+        up_lower[branch_var] = floor_val + 1
+        stack.append((up_lower, list(upper)))
+        down_upper = list(upper)
+        down_upper[branch_var] = floor_val
+        stack.append((list(lower), down_upper))
+
+    if best is None:
+        return LPResult(LPStatus.INFEASIBLE)
+    return best
+
+
+def integer_feasible(lp: LinearProgram,
+                     integer_mask: Optional[Sequence[bool]] = None,
+                     max_nodes: int = 100_000) -> bool:
+    """True iff the system has a (mixed-)integer point.
+
+    The objective of ``lp`` is ignored; feasibility is checked with a zero
+    objective so branch and bound stops at the first integral point.
+    """
+    zero_obj = replace(lp, objective=[Fraction(0)] * lp.n_vars)
+    if integer_mask is None:
+        integer_mask = [True] * lp.n_vars
+
+    root = solve_lp(zero_obj)
+    if root.status is not LPStatus.OPTIMAL:
+        return False
+
+    stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
+    nodes = 0
+    while stack:
+        lower, upper = stack.pop()
+        nodes += 1
+        if nodes > max_nodes:
+            raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+        node_lp = replace(zero_obj, lower=list(lower), upper=list(upper))
+        result = solve_lp(node_lp)
+        if result.status is not LPStatus.OPTIMAL:
+            continue
+        branch_var = _first_fractional(result.x, integer_mask)
+        if branch_var is None:
+            return True
+        value = result.x[branch_var]
+        floor_val = Fraction(value.numerator // value.denominator)
+        up_lower = list(lower)
+        up_lower[branch_var] = floor_val + 1
+        stack.append((up_lower, list(upper)))
+        down_upper = list(upper)
+        down_upper[branch_var] = floor_val
+        stack.append((list(lower), down_upper))
+    return False

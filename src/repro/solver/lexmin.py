@@ -1,0 +1,49 @@
+"""Lexicographic minimization over integer points.
+
+isl's scheduler solves each per-dimension problem by lexicographically
+minimizing a sequence of objectives (sum of parameter-bound coefficients,
+the constant bound, then the schedule coefficients themselves).  We reproduce
+that here: minimize objective 0, pin it with an equality, minimize objective
+1, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.solver.lp import LinearProgram, LPResult, LPStatus
+from repro.solver.ilp import solve_ilp
+
+
+def lexicographic_minimize(lp: LinearProgram,
+                           objectives: Sequence[Sequence[Fraction]],
+                           integer_mask: Optional[Sequence[bool]] = None,
+                           max_nodes: int = 100_000) -> LPResult:
+    """Lexicographically minimize ``objectives`` over the feasible set of ``lp``.
+
+    ``lp.objective`` is ignored; each row of ``objectives`` is one level of
+    the lexicographic order.  Returns the final point (status OPTIMAL), or
+    INFEASIBLE/UNBOUNDED from the first failing level.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective level")
+    current = lp
+    result: Optional[LPResult] = None
+    for level in objectives:
+        level = [Fraction(c) for c in level]
+        if len(level) != lp.n_vars:
+            raise ValueError("objective level length does not match variable count")
+        current = replace(current, objective=level)
+        result = solve_ilp(current, integer_mask=integer_mask, max_nodes=max_nodes)
+        if result.status is not LPStatus.OPTIMAL:
+            return result
+        # Pin this level's value and move to the next one.
+        current = replace(
+            current,
+            a_eq=current.a_eq + [level],
+            b_eq=current.b_eq + [result.objective],
+        )
+    assert result is not None
+    return result

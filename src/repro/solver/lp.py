@@ -1,0 +1,354 @@
+"""Two-phase primal simplex over exact rationals.
+
+The solver accepts problems in the general form::
+
+    minimize    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lo_i <= x_i <= hi_i      (either bound may be absent)
+
+and reduces them internally to standard form (equalities over non-negative
+variables) before running a tableau simplex with Bland's anti-cycling rule.
+All arithmetic is on :class:`fractions.Fraction`, so results are exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.linalg.rational import frac
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class LinearProgram:
+    """A minimization LP in general (inequality/equality/bounds) form."""
+
+    objective: list[Fraction]
+    a_ub: list[list[Fraction]] = field(default_factory=list)
+    b_ub: list[Fraction] = field(default_factory=list)
+    a_eq: list[list[Fraction]] = field(default_factory=list)
+    b_eq: list[Fraction] = field(default_factory=list)
+    lower: list[Optional[Fraction]] = field(default_factory=list)
+    upper: list[Optional[Fraction]] = field(default_factory=list)
+
+    def __post_init__(self):
+        n = len(self.objective)
+        self.objective = [frac(x) for x in self.objective]
+        self.a_ub = [[frac(x) for x in row] for row in self.a_ub]
+        self.b_ub = [frac(x) for x in self.b_ub]
+        self.a_eq = [[frac(x) for x in row] for row in self.a_eq]
+        self.b_eq = [frac(x) for x in self.b_eq]
+        if not self.lower:
+            self.lower = [Fraction(0)] * n
+        if not self.upper:
+            self.upper = [None] * n
+        self.lower = [None if lo is None else frac(lo) for lo in self.lower]
+        self.upper = [None if hi is None else frac(hi) for hi in self.upper]
+        for row in self.a_ub + self.a_eq:
+            if len(row) != n:
+                raise ValueError("constraint row length does not match objective")
+        if len(self.b_ub) != len(self.a_ub) or len(self.b_eq) != len(self.a_eq):
+            raise ValueError("rhs length does not match constraint matrix")
+        if len(self.lower) != n or len(self.upper) != n:
+            raise ValueError("bounds length does not match variable count")
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.objective)
+
+
+@dataclass
+class LPResult:
+    """Result of an LP solve: status, primal point and objective value."""
+
+    status: LPStatus
+    x: Optional[list[Fraction]] = None
+    objective: Optional[Fraction] = None
+
+
+def solve_lp(lp: LinearProgram) -> LPResult:
+    """Solve ``lp`` exactly; see :class:`LinearProgram` for the form."""
+    std = _Standardizer(lp)
+    tableau = _Tableau(std.rows, std.rhs, std.n_std_vars)
+    if not tableau.phase_one(std.row_slack):
+        return LPResult(LPStatus.INFEASIBLE)
+    status = tableau.phase_two(std.std_objective)
+    if status is LPStatus.UNBOUNDED:
+        return LPResult(LPStatus.UNBOUNDED)
+    x_std = tableau.primal_solution()
+    x = std.recover(x_std)
+    value = sum((c * v for c, v in zip(lp.objective, x)), Fraction(0))
+    return LPResult(LPStatus.OPTIMAL, x, value)
+
+
+class _Standardizer:
+    """Rewrites a general-form LP into ``A x = b, x >= 0``.
+
+    Each original variable maps to either a shifted non-negative variable, a
+    reflected one, or a difference of two non-negative variables; finite
+    bounds on the opposite side become extra inequality rows.
+    """
+
+    def __init__(self, lp: LinearProgram):
+        self.lp = lp
+        # Mapping for original variable i:
+        #   ("shift", j, lo)    x_i = lo + y_j
+        #   ("reflect", j, hi)  x_i = hi - y_j
+        #   ("free", j, k)      x_i = y_j - y_k
+        self.mapping: list[tuple] = []
+        self.n_std_vars = 0
+        extra_ub: list[tuple[int, Fraction]] = []  # (std var, bound) rows y_j <= b
+
+        for i in range(lp.n_vars):
+            lo, hi = lp.lower[i], lp.upper[i]
+            if lo is not None:
+                j = self._new_var()
+                self.mapping.append(("shift", j, lo))
+                if hi is not None:
+                    extra_ub.append((j, hi - lo))
+            elif hi is not None:
+                j = self._new_var()
+                self.mapping.append(("reflect", j, hi))
+            else:
+                j = self._new_var()
+                k = self._new_var()
+                self.mapping.append(("free", j, k))
+
+        self.rows: list[list[Fraction]] = []
+        self.rhs: list[Fraction] = []
+        # For each row, the slack column usable as an initial basic variable
+        # (only when the row was not sign-flipped), or None.
+        self.row_slack: list[Optional[int]] = []
+
+        for row, b in zip(lp.a_ub, lp.b_ub):
+            coeffs, shift = self._translate(row)
+            slack = self._new_var()
+            coeffs[slack] = Fraction(1)
+            self._append(coeffs, b - shift, slack)
+        for row, b in zip(lp.a_eq, lp.b_eq):
+            coeffs, shift = self._translate(row)
+            self._append(coeffs, b - shift, None)
+        for j, bound in extra_ub:
+            slack = self._new_var()
+            self._append({j: Fraction(1), slack: Fraction(1)}, bound, slack)
+
+        # Standard-form objective over the y variables.
+        obj, self.obj_shift = self._translate(lp.objective)
+        self.std_objective = [obj.get(j, Fraction(0)) for j in range(self.n_std_vars)]
+        # Pad rows created before later variables existed.
+        self.rows = [r + [Fraction(0)] * (self.n_std_vars - len(r)) for r in self.rows]
+
+    def _new_var(self) -> int:
+        self.n_std_vars += 1
+        return self.n_std_vars - 1
+
+    def _translate(self, row: Sequence[Fraction]) -> tuple[dict[int, Fraction], Fraction]:
+        """Express ``row . x`` as ``coeffs . y + shift``."""
+        coeffs: dict[int, Fraction] = {}
+        shift = Fraction(0)
+        for i, a in enumerate(row):
+            if a == 0:
+                continue
+            kind = self.mapping[i]
+            if kind[0] == "shift":
+                _, j, lo = kind
+                coeffs[j] = coeffs.get(j, Fraction(0)) + a
+                shift += a * lo
+            elif kind[0] == "reflect":
+                _, j, hi = kind
+                coeffs[j] = coeffs.get(j, Fraction(0)) - a
+                shift += a * hi
+            else:
+                _, j, k = kind
+                coeffs[j] = coeffs.get(j, Fraction(0)) + a
+                coeffs[k] = coeffs.get(k, Fraction(0)) - a
+        return coeffs, shift
+
+    def _append(self, coeffs: dict[int, Fraction], rhs: Fraction,
+                slack: Optional[int]) -> None:
+        row = [Fraction(0)] * self.n_std_vars
+        for j, a in coeffs.items():
+            row[j] = a
+        if rhs < 0:
+            row = [-a for a in row]
+            rhs = -rhs
+            slack = None  # the flipped slack has coefficient -1: unusable
+        self.rows.append(row)
+        self.rhs.append(rhs)
+        self.row_slack.append(slack)
+
+    def recover(self, y: list[Fraction]) -> list[Fraction]:
+        """Map a standard-form point back to original variables."""
+        x = []
+        for kind in self.mapping:
+            if kind[0] == "shift":
+                _, j, lo = kind
+                x.append(lo + y[j])
+            elif kind[0] == "reflect":
+                _, j, hi = kind
+                x.append(hi - y[j])
+            else:
+                _, j, k = kind
+                x.append(y[j] - y[k])
+        return x
+
+
+class _Tableau:
+    """Sparse simplex tableau (rows as dicts) with Bland's rule."""
+
+    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction], n_vars: int):
+        self.n_vars = n_vars
+        self.n_rows = len(rows)
+        self.rows: list[dict[int, Fraction]] = [
+            {j: a for j, a in enumerate(r) if a != 0} for r in rows]
+        self.rhs = list(rhs)
+        self.basis: list[int] = [-1] * self.n_rows
+
+    def phase_one(self, row_slack: Optional[list[Optional[int]]] = None) -> bool:
+        """Find a feasible basis; True iff one exists.
+
+        Rows carrying a usable slack column (coefficient +1, nonnegative
+        rhs) start with that slack basic — only the remaining rows get
+        artificial variables, which usually makes phase one trivial for
+        inequality-dominated systems.
+        """
+        n = self.n_vars
+        art_rows = []
+        for i in range(self.n_rows):
+            slack = row_slack[i] if row_slack else None
+            if slack is not None and self.rows[i].get(slack) == 1:
+                self.basis[i] = slack
+                self._clear_column_except(slack, i)
+            else:
+                art_rows.append(i)
+        if art_rows:
+            width = n
+            cost: dict[int, Fraction] = {}
+            for i in art_rows:
+                art = width
+                width += 1
+                self.rows[i][art] = Fraction(1)
+                self.basis[i] = art
+                cost[art] = Fraction(1)
+            self._run(cost, width)
+            value = sum((self.rhs[i] for i in range(self.n_rows)
+                         if self.basis[i] >= n), Fraction(0))
+            if value != 0:
+                return False
+            # Drive artificials out of the basis where possible.
+            for i in range(self.n_rows):
+                if self.basis[i] >= n:
+                    pivot_col = next((j for j in sorted(self.rows[i])
+                                      if j < n and self.rows[i][j] != 0), None)
+                    if pivot_col is not None:
+                        self._pivot(i, pivot_col)
+            # Drop artificial columns; rows whose basic variable is still
+            # artificial have zero rhs and are redundant.
+            keep = [i for i in range(self.n_rows) if self.basis[i] < n]
+            self.rows = [{j: a for j, a in self.rows[i].items() if j < n}
+                         for i in keep]
+            self.rhs = [self.rhs[i] for i in keep]
+            self.basis = [self.basis[i] for i in keep]
+            self.n_rows = len(keep)
+        return True
+
+    def _clear_column_except(self, col: int, pivot_row: int) -> None:
+        """Make ``col`` a unit column (it already is in typical input, but a
+        slack may appear in bound rows added later)."""
+        if self.rows[pivot_row].get(col) != 1:
+            return
+        for i in range(self.n_rows):
+            if i != pivot_row and col in self.rows[i]:
+                self._eliminate(i, pivot_row, self.rows[i][col])
+
+    def phase_two(self, objective: list[Fraction]) -> LPStatus:
+        """Minimize ``objective`` from the current feasible basis."""
+        cost = {j: c for j, c in enumerate(objective) if c != 0}
+        return self._run(cost, self.n_vars)
+
+    def _reduced_costs(self, cost: dict[int, Fraction],
+                       width: int) -> dict[int, Fraction]:
+        # Rows are already B^{-1} A, so reduced = c - sum_i c_B[i] * row_i.
+        reduced = dict(cost)
+        for i, b in enumerate(self.basis):
+            cb = cost.get(b, Fraction(0))
+            if cb != 0:
+                for j, a in self.rows[i].items():
+                    if j < width:
+                        value = reduced.get(j, Fraction(0)) - cb * a
+                        if value:
+                            reduced[j] = value
+                        else:
+                            reduced.pop(j, None)
+        return reduced
+
+    def _run(self, cost: dict[int, Fraction], width: int) -> LPStatus:
+        basis_set = set(self.basis)
+        while True:
+            reduced = self._reduced_costs(cost, width)
+            entering = None
+            for j in sorted(reduced):  # Bland: smallest index
+                if reduced[j] < 0 and j not in basis_set:
+                    entering = j
+                    break
+            if entering is None:
+                return LPStatus.OPTIMAL
+            # Ratio test with Bland's tie-break on the leaving basic variable.
+            leaving = None
+            best = None
+            for i in range(self.n_rows):
+                a = self.rows[i].get(entering, Fraction(0))
+                if a > 0:
+                    ratio = self.rhs[i] / a
+                    if best is None or ratio < best or (
+                            ratio == best and self.basis[i] < self.basis[leaving]):
+                        best = ratio
+                        leaving = i
+            if leaving is None:
+                return LPStatus.UNBOUNDED
+            basis_set.discard(self.basis[leaving])
+            self._pivot(leaving, entering)
+            basis_set.add(entering)
+
+    def _pivot(self, row: int, col: int) -> None:
+        pivot_row = self.rows[row]
+        inv = 1 / pivot_row[col]
+        if inv != 1:
+            self.rows[row] = pivot_row = {j: a * inv for j, a in pivot_row.items()}
+            self.rhs[row] *= inv
+        for i in range(self.n_rows):
+            if i != row:
+                factor = self.rows[i].get(col)
+                if factor:
+                    self._eliminate(i, row, factor)
+        self.basis[row] = col
+
+    def _eliminate(self, target: int, source: int, factor: Fraction) -> None:
+        """row[target] -= factor * row[source]; rhs too."""
+        src = self.rows[source]
+        dst = self.rows[target]
+        for j, a in src.items():
+            value = dst.get(j, Fraction(0)) - factor * a
+            if value:
+                dst[j] = value
+            else:
+                dst.pop(j, None)
+        self.rhs[target] -= factor * self.rhs[source]
+
+    def primal_solution(self) -> list[Fraction]:
+        x = [Fraction(0)] * self.n_vars
+        for i, b in enumerate(self.basis):
+            if b < self.n_vars:
+                x[b] = self.rhs[i]
+        return x

@@ -1,0 +1,399 @@
+"""Named-variable problem builder with a small linear-expression DSL.
+
+The constraint builders in :mod:`repro.schedule` manipulate dozens of named
+unknowns (schedule coefficients per statement and dimension, Farkas
+multipliers, bound coefficients).  Building raw coefficient rows by hand is
+error-prone, so this module provides:
+
+* :class:`LinExpr` — an affine expression ``sum(c_i * v_i) + const`` over
+  named variables, supporting ``+ - *`` and comparisons that yield
+  :class:`Constraint` objects.
+* :class:`Problem` — collects variables (with bounds and integrality) and
+  constraints and lowers everything to a :class:`LinearProgram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.linalg.rational import frac
+from repro.solver.lp import LinearProgram, LPResult, LPStatus
+from repro.solver.lexmin import lexicographic_minimize
+from repro.solver.ilp import solve_ilp
+
+Scalar = Union[int, Fraction, str]
+
+
+class LinExpr:
+    """An affine expression over named variables."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[dict[str, Fraction]] = None, const=0):
+        self.coeffs: dict[str, Fraction] = {}
+        if coeffs:
+            for name, c in coeffs.items():
+                c = frac(c)
+                if c != 0:
+                    self.coeffs[name] = c
+        self.const = frac(const)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def of(cls, value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        return cls(const=frac(value))
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.const)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr.of(other)
+        coeffs = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({n: -c for n, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-LinExpr.of(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.of(other) + (-self)
+
+    def __mul__(self, k) -> "LinExpr":
+        k = frac(k)
+        return LinExpr({n: k * c for n, c in self.coeffs.items()}, k * self.const)
+
+    __rmul__ = __mul__
+
+    # -- comparisons produce constraints -------------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr.of(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr.of(other), ">=")
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint (``==`` is kept as identity comparison)."""
+        return Constraint(self - LinExpr.of(other), "==")
+
+    # -- equality (structural; ``.eq()`` builds constraints instead) ----------
+
+    def __eq__(self, other):
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self):
+        return hash((tuple(sorted(self.coeffs.items())), self.const))
+
+    # -- inspection ------------------------------------------------------------
+
+    def evaluate(self, assignment: dict[str, Fraction]) -> Fraction:
+        """Value of the expression under a full variable assignment."""
+        total = self.const
+        for name, c in self.coeffs.items():
+            total += c * frac(assignment[name])
+        return total
+
+    def variables(self) -> set[str]:
+        return set(self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __repr__(self):
+        parts = [f"{c}*{n}" for n, c in sorted(self.coeffs.items())]
+        if self.const != 0 or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def var(name: str) -> LinExpr:
+    """A :class:`LinExpr` consisting of the single variable ``name``."""
+    return LinExpr({name: Fraction(1)})
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr (<=|>=|==) 0`` — the rhs is folded into the expression."""
+
+    expr: LinExpr
+    sense: str  # "<=", ">=", "=="
+
+    def __post_init__(self):
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {self.sense!r}")
+
+    def satisfied_by(self, assignment: dict[str, Fraction]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense == "<=":
+            return value <= 0
+        if self.sense == ">=":
+            return value >= 0
+        return value == 0
+
+    def __repr__(self):
+        return f"{self.expr!r} {self.sense} 0"
+
+
+class Problem:
+    """Collects named variables and constraints; lowers to LinearProgram."""
+
+    def __init__(self):
+        self._order: list[str] = []
+        self._lower: dict[str, Optional[Fraction]] = {}
+        self._upper: dict[str, Optional[Fraction]] = {}
+        self._integer: dict[str, bool] = {}
+        self._constraints: list[Constraint] = []
+
+    # -- declaration -----------------------------------------------------------
+
+    def add_variable(self, name: str, lower=None, upper=None,
+                     integer: bool = True) -> LinExpr:
+        """Declare a variable; returns its expression.  Idempotent bounds
+        updates tighten (never loosen) existing declarations."""
+        if name not in self._integer:
+            self._order.append(name)
+            self._lower[name] = None if lower is None else frac(lower)
+            self._upper[name] = None if upper is None else frac(upper)
+            self._integer[name] = integer
+        else:
+            if lower is not None:
+                old = self._lower[name]
+                self._lower[name] = frac(lower) if old is None else max(old, frac(lower))
+            if upper is not None:
+                old = self._upper[name]
+                self._upper[name] = frac(upper) if old is None else min(old, frac(upper))
+            self._integer[name] = self._integer[name] or integer
+        return var(name)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Add one constraint; its variables must be declared."""
+        missing = constraint.expr.variables() - set(self._integer)
+        if missing:
+            raise KeyError(f"undeclared variables in constraint: {sorted(missing)}")
+        self._constraints.append(constraint)
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for c in constraints:
+            self.add_constraint(c)
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def clone(self) -> "Problem":
+        """Independent copy (shares immutable constraints)."""
+        clone = Problem()
+        clone._order = list(self._order)
+        clone._lower = dict(self._lower)
+        clone._upper = dict(self._upper)
+        clone._integer = dict(self._integer)
+        clone._constraints = list(self._constraints)
+        return clone
+
+    # -- lowering ---------------------------------------------------------------
+
+    def _row(self, expr: LinExpr) -> list[Fraction]:
+        index = {name: i for i, name in enumerate(self._order)}
+        row = [Fraction(0)] * len(self._order)
+        for name, c in expr.coeffs.items():
+            row[index[name]] = c
+        return row
+
+    def lower_to_lp(self, objective: Optional[LinExpr] = None) -> LinearProgram:
+        """Produce the equivalent :class:`LinearProgram`."""
+        a_ub, b_ub, a_eq, b_eq = [], [], [], []
+        for c in self._constraints:
+            row = self._row(c.expr)
+            rhs = -c.expr.const
+            if c.sense == "<=":
+                a_ub.append(row)
+                b_ub.append(rhs)
+            elif c.sense == ">=":
+                a_ub.append([-x for x in row])
+                b_ub.append(-rhs)
+            else:
+                a_eq.append(row)
+                b_eq.append(rhs)
+        obj_row = self._row(objective) if objective is not None \
+            else [Fraction(0)] * len(self._order)
+        return LinearProgram(
+            objective=obj_row,
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            lower=[self._lower[n] for n in self._order],
+            upper=[self._upper[n] for n in self._order],
+        )
+
+    def integer_mask(self) -> list[bool]:
+        return [self._integer[n] for n in self._order]
+
+    # -- presolve -----------------------------------------------------------------
+    #
+    # Farkas linearization introduces many continuous multipliers tied to the
+    # integer unknowns through equality constraints.  Substituting them away
+    # before the simplex shrinks the tableau dramatically (the multipliers
+    # reappear only as extra inequalities for their lower bounds).
+
+    def presolved(self, protect: Optional[set[str]] = None
+                  ) -> tuple["Problem", list[tuple[str, LinExpr]]]:
+        """Eliminate continuous variables pinned by equality constraints.
+
+        Returns the reduced problem and the elimination trail
+        ``[(name, expr), ...]`` (evaluate in reverse order to recover the
+        eliminated values).  ``protect`` names variables that must survive.
+        """
+        protect = protect or set()
+        constraints = list(self._constraints)
+        lower = dict(self._lower)
+        upper = dict(self._upper)
+        eliminated: list[tuple[str, LinExpr]] = []
+        removed: set[str] = set()
+
+        progress = True
+        while progress:
+            progress = False
+            for idx, c in enumerate(constraints):
+                if c.sense != "==":
+                    continue
+                victim = None
+                for name in c.expr.coeffs:
+                    if (not self._integer[name] and name not in protect
+                            and name not in removed):
+                        victim = name
+                        break
+                if victim is None:
+                    continue
+                k = c.expr.coeffs[victim]
+                rest = LinExpr({n: v for n, v in c.expr.coeffs.items()
+                                if n != victim}, c.expr.const)
+                expr = (-1 / k) * rest
+                eliminated.append((victim, expr))
+                removed.add(victim)
+                replacement: list[Constraint] = []
+                # The victim's bounds survive as inequalities on `expr`.
+                if lower[victim] is not None:
+                    replacement.append(expr >= lower[victim])
+                if upper[victim] is not None:
+                    replacement.append(expr <= upper[victim])
+                new_constraints = []
+                for j, other in enumerate(constraints):
+                    if j == idx:
+                        continue
+                    coeff = other.expr.coeffs.get(victim)
+                    if not coeff:
+                        new_constraints.append(other)
+                        continue
+                    without = LinExpr({n: v for n, v in other.expr.coeffs.items()
+                                       if n != victim}, other.expr.const)
+                    new_constraints.append(
+                        Constraint(without + coeff * expr, other.sense))
+                constraints = new_constraints + replacement
+                progress = True
+                break
+
+        reduced = Problem()
+        for name in self._order:
+            if name not in removed:
+                reduced.add_variable(name, self._lower[name],
+                                     self._upper[name], self._integer[name])
+        for c in constraints:
+            # Constant constraints may remain; keep only the violated check.
+            if not c.expr.coeffs:
+                if not c.satisfied_by({}):
+                    # Encode infeasibility explicitly.
+                    flag = reduced.add_variable("__infeasible__", lower=0, upper=0)
+                    reduced.add_constraint(flag >= 1)
+                continue
+            reduced.add_constraint(c)
+        return reduced, eliminated
+
+    @staticmethod
+    def _recover(assignment: dict[str, Fraction],
+                 eliminated: list[tuple[str, LinExpr]]) -> dict[str, Fraction]:
+        for name, expr in reversed(eliminated):
+            assignment[name] = expr.evaluate(assignment)
+        return assignment
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self, objective: Optional[LinExpr] = None,
+              max_nodes: int = 100_000,
+              presolve: bool = True) -> Optional[dict[str, Fraction]]:
+        """Minimize ``objective`` (feasibility check if None).
+
+        Returns the assignment dict, or None if infeasible/unbounded.
+        """
+        if presolve:
+            protect = objective.variables() if objective is not None else set()
+            reduced, eliminated = self.presolved(protect=protect)
+            sub = reduced.solve(objective, max_nodes=max_nodes, presolve=False)
+            if sub is None:
+                return None
+            return self._recover(sub, eliminated)
+        lp = self.lower_to_lp(objective)
+        result = solve_ilp(lp, integer_mask=self.integer_mask(), max_nodes=max_nodes)
+        if result.status is not LPStatus.OPTIMAL:
+            return None
+        return dict(zip(self._order, result.x))
+
+    def lexmin(self, objectives: Sequence[LinExpr],
+               max_nodes: int = 100_000,
+               presolve: bool = True) -> Optional[dict[str, Fraction]]:
+        """Lexicographically minimize the given objective expressions."""
+        if presolve:
+            protect = set()
+            for obj in objectives:
+                protect |= obj.variables()
+            reduced, eliminated = self.presolved(protect=protect)
+            sub = reduced.lexmin(objectives, max_nodes=max_nodes, presolve=False)
+            if sub is None:
+                return None
+            return self._recover(sub, eliminated)
+        lp = self.lower_to_lp()
+        rows = [self._row(obj) for obj in objectives]
+        result = lexicographic_minimize(lp, rows,
+                                        integer_mask=self.integer_mask(),
+                                        max_nodes=max_nodes)
+        if result.status is not LPStatus.OPTIMAL:
+            return None
+        return dict(zip(self._order, result.x))
+
+    def fold_objectives(self, objectives: Sequence[LinExpr]) -> Optional[LinExpr]:
+        """Collapse a lexicographic objective list into one weighted
+        expression, exact when every level's variables are bounded.
+
+        Returns None when some level has an unbounded range (callers should
+        fall back to true lexicographic solving)."""
+        spans: list[Fraction] = []
+        for obj in objectives:
+            span = Fraction(0)
+            for name, coeff in obj.coeffs.items():
+                lo, hi = self._lower[name], self._upper[name]
+                if lo is None or hi is None:
+                    return None
+                span += abs(coeff) * (hi - lo)
+            spans.append(span)
+        folded = LinExpr()
+        weight = Fraction(1)
+        for obj, span in zip(reversed(objectives), reversed(spans)):
+            folded = folded + weight * obj
+            weight *= span + 1
+        return folded

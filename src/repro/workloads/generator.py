@@ -1,0 +1,137 @@
+"""Seeded generation of per-network fused-operator suites.
+
+Given a :class:`~repro.workloads.networks.NetworkSpec`, produce exactly
+``total_operators`` kernels drawn deterministically from the spec's class
+mix, with shapes appropriate to the network's size class.  Two calls with
+the same seed produce identical suites, so every benchmark run measures the
+same population.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Iterator
+
+from repro.ir.kernel import Kernel
+from repro.ir.types import FLOAT16, FLOAT32
+from repro.workloads import operators
+from repro.workloads.networks import NETWORKS, NetworkSpec
+
+# Shape pools per size class: (rows, cols) for 2D classes.
+_SHAPES_2D = {
+    "small": [(1024, 32), (2048, 16), (512, 64)],
+    "medium": [(8192, 32), (4096, 64), (8192, 64)],
+    "large": [(16384, 64), (32768, 32), (8192, 64)],
+}
+# Odd column counts make an operator vectorization-ineligible (condition (b)).
+_NEUTRAL_COLS = [31, 33, 63]
+# (batch, channels, height, width) pools for layout conversions.
+_SHAPES_4D = {
+    "small": [(2, 64, 32, 32), (4, 64, 32, 16)],
+    "medium": [(2, 64, 128, 128), (4, 64, 64, 64), (4, 128, 32, 32)],
+    "large": [(2, 128, 128, 128), (4, 64, 128, 128), (2, 64, 128, 128)],
+}
+# Chain lengths per size class (LSTM-scale ops are single operators, the
+# big NLP fused chains run longer).
+_CHAIN_LENGTHS = {
+    "small": [1, 2],
+    "medium": [2, 3],
+    "large": [3, 4],
+}
+
+
+def _spread(mix: dict[str, int], total: int,
+            rng: random.Random) -> list[str]:
+    """Expand the weighted mix into exactly ``total`` class labels,
+    deterministically shuffled."""
+    weight_sum = sum(mix.values())
+    labels: list[str] = []
+    for cls, weight in mix.items():
+        labels.extend([cls] * round(weight * total / weight_sum))
+    while len(labels) < total:
+        labels.append(max(mix, key=mix.get))
+    labels = labels[:total]
+    rng.shuffle(labels)
+    return labels
+
+
+def _build(cls: str, name: str, spec: NetworkSpec,
+           rng: random.Random) -> Kernel:
+    rows, cols = rng.choice(_SHAPES_2D[spec.size_class])
+    if cls == "elementwise_neutral":
+        return operators.elementwise_chain_op(
+            name, rows=rows, cols=rng.choice(_NEUTRAL_COLS),
+            length=1, extra_inputs=rng.choice([0, 1]))
+    if cls == "elementwise_vec":
+        return operators.elementwise_chain_op(
+            name, rows=rows, cols=cols,
+            length=rng.choice(_CHAIN_LENGTHS[spec.size_class]),
+            extra_inputs=rng.choice([0, 1]))
+    if cls == "broadcast":
+        return operators.broadcast_bias_op(name, rows=rows, cols=cols)
+    if cls == "reduce_producer":
+        return operators.reduce_producer_op(name, rows=rows,
+                                            red=rng.choice([16, 32]))
+    if cls == "layout_conversion":
+        batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
+        return operators.layout_conversion_op(
+            name, batch=batch, channels=channels, height=height, width=width,
+            to_nhwc=rng.choice([True, True, True, False]),
+            fused_elementwise=rng.choice([0, 1]))
+    if cls == "layout_conversion_f16":
+        batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
+        return operators.layout_conversion_op(
+            name, batch=batch, channels=channels, height=height, width=width,
+            dtype=FLOAT16, to_nhwc=True, fused_elementwise=0)
+    if cls == "softmax_like":
+        return operators.softmax_like_op(name, rows=rows, cols=cols)
+    if cls == "strided_pool":
+        side = rng.choice([128, 256])
+        return operators.strided_pool_op(name, rows=side, cols=side)
+    if cls == "transpose2d":
+        return operators.transpose2d_op(name, rows=max(rows // 16, 64),
+                                        cols=64)
+    raise ValueError(f"unknown operator class {cls!r}")
+
+
+def generate_network_suite(network: str, seed: int = 0,
+                           limit: int | None = None
+                           ) -> list[tuple[str, Kernel]]:
+    """The fused-operator suite of one Table I network.
+
+    Returns ``[(class_label, kernel), ...]`` with exactly the network's
+    operator count (or ``limit`` operators, sampled deterministically, for
+    quick runs).
+    """
+    spec = NETWORKS[network]
+    # zlib.crc32 is stable across processes (str.__hash__ is salted).
+    rng = random.Random(zlib.crc32(network.encode()) ^ seed)
+    labels = _spread(spec.mix, spec.total_operators, rng)
+    suite = []
+    for index, cls in enumerate(labels):
+        name = f"{network.lower()}_op{index:03d}_{cls}"
+        suite.append((cls, _build(cls, name, spec, rng)))
+    if limit is not None and limit < len(suite):
+        # Stratified sampling: keep the class mix representative by taking
+        # operators round-robin across classes (ordered by class frequency).
+        by_class: dict[str, list] = {}
+        for entry in suite:
+            by_class.setdefault(entry[0], []).append(entry)
+        ordered_classes = sorted(by_class, key=lambda c: -len(by_class[c]))
+        picked = []
+        round_index = 0
+        while len(picked) < limit:
+            progressed = False
+            for cls in ordered_classes:
+                bucket = by_class[cls]
+                if round_index < len(bucket):
+                    picked.append(bucket[round_index])
+                    progressed = True
+                    if len(picked) == limit:
+                        break
+            if not progressed:
+                break
+            round_index += 1
+        suite = picked
+    return suite

@@ -1,0 +1,223 @@
+"""Fused-operator templates.
+
+Each builder returns a :class:`~repro.ir.Kernel` modelling one class of
+fused operator that MindSpore's graph-kernel fusion hands to AKG:
+
+* :func:`elementwise_chain_op` — a chain of element-wise operators over one
+  flattened/2D shape (the dominant class in BERT/LSTM);
+* :func:`broadcast_bias_op` — element-wise with a broadcast operand
+  (bias add, scale);
+* :func:`reduce_producer_op` — the running-example class: an element-wise
+  producer feeding a reduction consumer (different iteration spaces, so the
+  baseline distributes it, Fig. 2(a/b));
+* :func:`layout_conversion_op` — 4D NCHW<->NHWC conversion fused with
+  element-wise post-processing (the "transpose" class behind the ResNet
+  speedups);
+* :func:`transpose2d_op` — 2D matrix transpose fused with an add;
+* :func:`running_example_op` — the paper's Fig. 2(a) kernel with
+  configurable shape.
+
+Shapes are kept moderate so the analytic GPU model simulates quickly while
+preserving each class's memory behaviour (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.kernel import Kernel
+from repro.ir.types import DType, FLOAT16, FLOAT32
+
+
+def elementwise_chain_op(name: str, rows: int = 4096, cols: int = 64,
+                         length: int = 3, extra_inputs: int = 1,
+                         dtype: DType = FLOAT32) -> Kernel:
+    """A chain of fused element-wise operators over a (rows, cols) tensor."""
+    kernel = Kernel(name, params={"M": rows, "N": cols})
+    kernel.add_tensor("T0", (rows, cols), dtype)
+    for idx in range(length):
+        kernel.add_tensor(f"T{idx + 1}", (rows, cols), dtype)
+        for extra in range(extra_inputs):
+            kernel.add_tensor(f"U{idx}_{extra}", (rows, cols), dtype)
+    for idx in range(length):
+        reads = [(f"T{idx}", ["i", "j"])]
+        reads += [(f"U{idx}_{e}", ["i", "j"]) for e in range(extra_inputs)]
+        kernel.add_statement(
+            f"S{idx}", [("i", 0, "M"), ("j", 0, "N")],
+            writes=[(f"T{idx + 1}", ["i", "j"])], reads=reads,
+            flops=1 + extra_inputs)
+    kernel.validate()
+    return kernel
+
+
+def broadcast_bias_op(name: str, rows: int = 4096, cols: int = 64,
+                      dtype: DType = FLOAT32) -> Kernel:
+    """``C[i][j] = f(A[i][j], bias[j])`` followed by an element-wise op."""
+    kernel = Kernel(name, params={"M": rows, "N": cols})
+    kernel.add_tensor("A", (rows, cols), dtype)
+    kernel.add_tensor("bias", (cols,), dtype)
+    kernel.add_tensor("B", (rows, cols), dtype)
+    kernel.add_tensor("C", (rows, cols), dtype)
+    kernel.add_statement("Add", [("i", 0, "M"), ("j", 0, "N")],
+                         writes=[("B", ["i", "j"])],
+                         reads=[("A", ["i", "j"]), ("bias", ["j"])])
+    kernel.add_statement("Act", [("i", 0, "M"), ("j", 0, "N")],
+                         writes=[("C", ["i", "j"])],
+                         reads=[("B", ["i", "j"])])
+    kernel.validate()
+    return kernel
+
+
+def reduce_producer_op(name: str, rows: int = 8192, red: int = 32,
+                       dtype: DType = FLOAT32) -> Kernel:
+    """An element-wise producer feeding a reduction over a 3D operand.
+
+    This is the running-example class (Fig. 2(a)): the producer's iteration
+    space differs from the consumer's, so the isl baseline splits the two
+    nests while influenced scheduling fuses them.
+    """
+    kernel = Kernel(name, params={"M": rows, "K": red})
+    kernel.add_tensor("A", (rows,), dtype)
+    kernel.add_tensor("B", (rows,), dtype)
+    kernel.add_tensor("C", (rows,), dtype)
+    kernel.add_tensor("D", (red, rows), dtype)
+    kernel.add_statement("X", [("i", 0, "M")],
+                         writes=[("B", ["i"])],
+                         reads=[("A", ["i"])])
+    kernel.add_statement("Y", [("i", 0, "M"), ("k", 0, "K")],
+                         writes=[("C", ["i"])],
+                         reads=[("C", ["i"]), ("B", ["i"]),
+                                ("D", ["k", "i"])],
+                         flops=2)
+    kernel.validate()
+    return kernel
+
+
+def layout_conversion_op(name: str, batch: int = 8, channels: int = 64,
+                         height: int = 32, width: int = 32,
+                         dtype: DType = FLOAT32,
+                         to_nhwc: bool = True,
+                         fused_elementwise: int = 0) -> Kernel:
+    """4D layout conversion (NCHW <-> NHWC) with optional fused tail.
+
+    The statement iterates the *input* layout order, so its textual
+    innermost loop is contiguous for the reads but strided for the writes —
+    the case where the baseline pays heavy store amplification and the
+    influenced schedule flips the innermost dimension to the store side
+    (the paper's ResNet transpose scenario).
+    """
+    kernel = Kernel(name, params={"B": batch, "C": channels,
+                                  "H": height, "W": width})
+    in_shape = (batch, channels, height, width) if to_nhwc \
+        else (batch, height, width, channels)
+    out_shape = (batch, height, width, channels) if to_nhwc \
+        else (batch, channels, height, width)
+    kernel.add_tensor("In", in_shape, dtype)
+    kernel.add_tensor("Out", out_shape, dtype)
+    iters = [("b", 0, "B"), ("c", 0, "C"), ("h", 0, "H"), ("w", 0, "W")]
+    in_subs = ["b", "c", "h", "w"] if to_nhwc else ["b", "h", "w", "c"]
+    out_subs = ["b", "h", "w", "c"] if to_nhwc else ["b", "c", "h", "w"]
+    if fused_elementwise:
+        kernel.add_tensor("Mid", out_shape, dtype)
+        kernel.add_statement("Conv", iters, writes=[("Mid", out_subs)],
+                             reads=[("In", in_subs)])
+        previous = "Mid"
+        for idx in range(fused_elementwise):
+            target = "Out" if idx == fused_elementwise - 1 else f"E{idx}"
+            if target != "Out":
+                kernel.add_tensor(target, out_shape, dtype)
+            kernel.add_statement(f"Ew{idx}", iters,
+                                 writes=[(target, out_subs)],
+                                 reads=[(previous, out_subs)])
+            previous = target
+    else:
+        kernel.add_statement("Conv", iters, writes=[("Out", out_subs)],
+                             reads=[("In", in_subs)])
+    kernel.validate()
+    return kernel
+
+
+def transpose2d_op(name: str, rows: int = 256, cols: int = 256,
+                   dtype: DType = FLOAT32) -> Kernel:
+    """2D transpose fused with an element-wise add."""
+    kernel = Kernel(name, params={"M": rows, "N": cols})
+    kernel.add_tensor("A", (rows, cols), dtype)
+    kernel.add_tensor("B", (cols, rows), dtype)
+    kernel.add_tensor("C", (cols, rows), dtype)
+    kernel.add_statement("T", [("i", 0, "M"), ("j", 0, "N")],
+                         writes=[("B", ["j", "i"])],
+                         reads=[("A", ["i", "j"])])
+    kernel.add_statement("E", [("i", 0, "N"), ("j", 0, "M")],
+                         writes=[("C", ["i", "j"])],
+                         reads=[("B", ["i", "j"]), ("C", ["i", "j"])])
+    kernel.validate()
+    return kernel
+
+
+def softmax_like_op(name: str, rows: int = 4096, cols: int = 64,
+                    dtype: DType = FLOAT32) -> Kernel:
+    """Row reduction followed by a broadcast-consuming normalization.
+
+    The softmax building block (row max / row sum, then an element-wise op
+    reading the reduced value): the reduction and the normalization have
+    different iteration spaces, so the baseline splits them into two
+    kernels while influence fuses the pair.
+    """
+    kernel = Kernel(name, params={"M": rows, "N": cols})
+    kernel.add_tensor("A", (rows, cols), dtype)
+    kernel.add_tensor("R", (rows,), dtype)
+    kernel.add_tensor("Out", (rows, cols), dtype)
+    kernel.add_statement("Red", [("i", 0, "M"), ("k", 0, "N")],
+                         writes=[("R", ["i"])],
+                         reads=[("R", ["i"]), ("A", ["i", "k"])])
+    kernel.add_statement("Norm", [("i", 0, "M"), ("j", 0, "N")],
+                         writes=[("Out", ["i", "j"])],
+                         reads=[("A", ["i", "j"]), ("R", ["i"])],
+                         flops=2)
+    kernel.validate()
+    return kernel
+
+
+def strided_pool_op(name: str, rows: int = 512, cols: int = 512,
+                    window: int = 2, dtype: DType = FLOAT32) -> Kernel:
+    """2x-strided window pooling: ``Out[i][j] = reduce(In[2i+r][2j+s])``.
+
+    Exercises non-unit access coefficients (stride-2 subscripts) through
+    the whole stack: the dependence analysis, the cost model (stride-2
+    stores are not vectorizable), code generation and the address model.
+    """
+    if rows % 2 or cols % 2:
+        raise ValueError("pooling shapes must be even")
+    kernel = Kernel(name, params={"M": rows // 2, "N": cols // 2,
+                                  "W": window})
+    kernel.add_tensor("In", (rows, cols), dtype)
+    kernel.add_tensor("Out", (rows // 2, cols // 2), dtype)
+    kernel.add_statement(
+        "Pool",
+        [("i", 0, "M"), ("j", 0, "N"), ("r", 0, "W"), ("s", 0, "W")],
+        writes=[("Out", ["i", "j"])],
+        reads=[("Out", ["i", "j"]), ("In", ["2*i + r", "2*j + s"])],
+    )
+    kernel.validate()
+    return kernel
+
+
+def running_example_op(name: str = "fused_mul_sub_mul_tensoradd",
+                       outer: int = 2048, inner: int = 32,
+                       dtype: DType = FLOAT32) -> Kernel:
+    """The paper's running example with a production-like fat outer dim."""
+    kernel = Kernel(name, params={"M": outer, "N": inner})
+    kernel.add_tensor("A", (outer, inner), dtype)
+    kernel.add_tensor("B", (outer, inner), dtype)
+    kernel.add_tensor("C", (outer, inner), dtype)
+    kernel.add_tensor("D", (inner, outer, inner), dtype)
+    kernel.add_statement("X", [("i", 0, "M"), ("k", 0, "N")],
+                         writes=[("B", ["i", "k"])],
+                         reads=[("A", ["i", "k"])])
+    kernel.add_statement("Y", [("i", 0, "M"), ("j", 0, "N"), ("k", 0, "N")],
+                         writes=[("C", ["i", "j"])],
+                         reads=[("C", ["i", "j"]), ("B", ["i", "k"]),
+                                ("D", ["k", "i", "j"])],
+                         flops=3)
+    kernel.validate()
+    return kernel

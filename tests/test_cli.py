@@ -1,0 +1,68 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+KERNEL_TEXT = """
+kernel cli_demo (M=64, N=16)
+tensor A[M][N]
+tensor B[M][N]
+S[i: 0..M, j: 0..N]: B[i][j] = f(A[i][j])
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "op.kdl"
+    path.write_text(KERNEL_TEXT)
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_default(self, kernel_file, capsys):
+        assert main(["compile", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "variant infl" in out
+        assert "forall" in out
+
+    def test_compile_all_variants_measured(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--all-variants",
+                     "--measure", "--sample-blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        for variant in ("isl", "tvm", "novec", "infl"):
+            assert f"variant {variant}" in out
+        assert "modelled time" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/op.kdl"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kdl"
+        bad.write_text("kernel k (N=4)\nbroken")
+        assert main(["compile", str(bad)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+
+class TestScenarios:
+    def test_scenarios_output(self, kernel_file, capsys):
+        assert main(["scenarios", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "Influenced dimension scenarios" in out
+        assert "Influence constraint tree" in out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "BERT" in capsys.readouterr().out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--networks", "LSTM", "--limit", "2",
+                     "--sample-blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "geomean" in out
+
+    def test_table2_unknown_network(self, capsys):
+        assert main(["table2", "--networks", "AlexNet"]) == 2

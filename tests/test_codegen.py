@@ -1,0 +1,190 @@
+"""Codegen tests: AST generation, semantics round trip, mapping, vectorize."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.codegen import generate_ast, map_to_gpu, vectorize
+from repro.codegen.ast import (
+    Loop,
+    Seq,
+    StatementCall,
+    render_ast,
+    statements_in,
+    walk,
+)
+from repro.codegen.interp import check_semantics, execute
+from repro.influence import build_influence_tree
+from repro.ir import Kernel
+from repro.ir.examples import (
+    elementwise_chain,
+    matmul,
+    running_example,
+    transpose_add,
+)
+from repro.schedule import InfluencedScheduler
+
+
+def compile_kernel(kernel, influenced=False, enable_vec=True, max_threads=8):
+    scheduler = InfluencedScheduler(kernel)
+    tree = build_influence_tree(kernel) if influenced else None
+    schedule = scheduler.schedule(tree)
+    ast = generate_ast(kernel, schedule)
+    ast = vectorize(ast, kernel, schedule, scheduler.relations,
+                    enable=enable_vec)
+    mapped = map_to_gpu(kernel, ast, schedule, max_threads=max_threads)
+    return scheduler, schedule, mapped
+
+
+KERNELS = [
+    ("running_plain", lambda: running_example(4), False),
+    ("running_infl", lambda: running_example(4), True),
+    ("matmul_plain", lambda: matmul(4), False),
+    ("matmul_infl", lambda: matmul(4), True),
+    ("chain_plain", lambda: elementwise_chain(4, 3), False),
+    ("chain_infl", lambda: elementwise_chain(4, 3), True),
+    ("transpose_plain", lambda: transpose_add(4), False),
+    ("transpose_infl", lambda: transpose_add(4), True),
+]
+
+
+class TestSemanticsRoundTrip:
+    """The strongest correctness check in the repo: every compiled kernel
+    executes exactly its iteration domains in a dependence-preserving
+    order."""
+
+    @pytest.mark.parametrize("name,make,influenced",
+                             KERNELS, ids=[k[0] for k in KERNELS])
+    def test_round_trip(self, name, make, influenced):
+        kernel = make()
+        _, _, mapped = compile_kernel(kernel, influenced=influenced)
+        assert check_semantics(kernel, mapped.ast) == []
+
+
+class TestAstShape:
+    def test_running_example_fused_shape(self):
+        """Plain scheduling fuses X into Y's nest, guarded at the loop
+        start (the Fig. 2(c) structure without vector marking)."""
+        kernel = running_example(4)
+        _, schedule, mapped = compile_kernel(kernel, influenced=False)
+        text = render_ast(mapped.ast)
+        assert "X(" in text and "Y(" in text
+        assert "if (" in text  # the fused producer guard
+
+    def test_vector_loop_present_when_influenced(self):
+        kernel = running_example(8)
+        _, _, mapped = compile_kernel(kernel, influenced=True)
+        vec_loops = [n for n in walk(mapped.ast)
+                     if isinstance(n, Loop) and n.vector]
+        assert len(vec_loops) == 1
+        assert vec_loops[0].vector_width == 4
+
+    def test_novec_strips_vector(self):
+        kernel = running_example(8)
+        _, _, mapped = compile_kernel(kernel, influenced=True,
+                                      enable_vec=False)
+        assert not any(isinstance(n, Loop) and n.vector
+                       for n in walk(mapped.ast))
+
+    def test_guarded_producer_not_vectorized(self):
+        kernel = running_example(8)
+        _, _, mapped = compile_kernel(kernel, influenced=True)
+        for call in statements_in(mapped.ast):
+            if call.statement.name == "X":
+                assert call.vector_width == 1
+            else:
+                assert call.vector_width == 4
+
+    def test_odd_extent_demotes(self):
+        kernel = running_example(7)  # 7 % 4 != 0 and 7 % 2 != 0
+        _, _, mapped = compile_kernel(kernel, influenced=True)
+        assert not any(isinstance(n, Loop) and n.vector
+                       for n in walk(mapped.ast))
+
+
+class TestMapping:
+    def test_thread_mapping_exists(self):
+        kernel = elementwise_chain(8, 2)
+        _, _, mapped = compile_kernel(kernel, influenced=False)
+        assert mapped.block, "a parallel kernel must map threads"
+        assert mapped.n_threads_per_block >= 1
+
+    def test_strip_mine_large_thread_loop(self):
+        kernel = elementwise_chain(64, 1)
+        _, _, mapped = compile_kernel(kernel, influenced=False, max_threads=8)
+        assert mapped.n_threads_per_block == 8
+        assert mapped.n_blocks >= 8
+
+    def test_vector_outer_strip_is_thread_mapped_for_elementwise(self):
+        kernel = elementwise_chain(16, 2)
+        _, _, mapped = compile_kernel(kernel, influenced=True, max_threads=4)
+        assert mapped.block
+        thread_var = mapped.block[0].loop_var
+        # The thread variable is the vector loop's outer strip.
+        assert thread_var.endswith("o") or thread_var.endswith("t")
+
+    def test_hoisting_exposes_parallel_dim(self):
+        """Influenced running example: k is outermost in the schedule but
+        the coincident i loop must be hoisted and mapped."""
+        kernel = running_example(16)
+        _, _, mapped = compile_kernel(kernel, influenced=True, max_threads=8)
+        assert mapped.block, "hoisting must expose a mappable loop"
+
+    def test_emit_cuda_mentions_launch(self):
+        kernel = elementwise_chain(8, 1)
+        _, _, mapped = compile_kernel(kernel)
+        text = mapped.emit_cuda()
+        assert "<<<" in text and "threadIdx.x" in text
+
+
+class TestInterp:
+    def test_execute_counts(self):
+        kernel = matmul(3)
+        _, _, mapped = compile_kernel(kernel)
+        instances = list(execute(mapped.ast, kernel.params))
+        assert len(instances) == 27
+
+    def test_check_semantics_catches_reversal(self):
+        """Swapping two dependent calls must be reported."""
+        kernel = elementwise_chain(2, 2)
+        _, _, mapped = compile_kernel(kernel)
+        # Swap the order of the two statement calls.
+        calls = statements_in(mapped.ast)
+        assert len(calls) == 2
+
+        def swap(node):
+            if isinstance(node, Seq):
+                idx = [i for i, c in enumerate(node.children)
+                       if isinstance(c, StatementCall)]
+                if len(idx) == 2:
+                    i, j = idx
+                    node.children[i], node.children[j] = \
+                        node.children[j], node.children[i]
+                    return True
+                return any(swap(c) for c in node.children)
+            if isinstance(node, Loop):
+                return swap(node.body)
+            return False
+
+        assert swap(mapped.ast)
+        assert check_semantics(kernel, mapped.ast) != []
+
+    def test_check_semantics_catches_missing(self):
+        kernel = elementwise_chain(2, 1)
+        _, _, mapped = compile_kernel(kernel)
+        # Shrink a loop by one iteration (missing instances must be found).
+        for node in walk(mapped.ast):
+            if isinstance(node, Loop):
+                node.uppers = [u - 1 for u in node.uppers]
+                break
+        assert check_semantics(kernel, mapped.ast) != []
+
+
+class TestTriangularDomain:
+    def test_triangular_codegen(self):
+        kernel = Kernel("tri", params={"N": 5})
+        kernel.add_tensor("A", (5, 5))
+        kernel.add_statement("S", [("i", 0, "N"), ("j", 0, "i + 1")],
+                             writes=[("A", ["i", "j"])])
+        _, _, mapped = compile_kernel(kernel)
+        assert check_semantics(kernel, mapped.ast) == []

@@ -1,0 +1,123 @@
+"""Focused tests for the GPU mapping pass: chains, hoisting, strip-mining,
+axis assignment."""
+
+import pytest
+
+from repro.codegen import generate_ast, map_to_gpu, vectorize
+from repro.codegen.ast import Loop, Seq, walk
+from repro.codegen.cuda import (
+    _mappable_chain,
+    hoist_coincident_loops,
+)
+from repro.codegen.interp import check_semantics
+from repro.influence import build_influence_tree
+from repro.ir import Kernel
+from repro.ir.examples import elementwise_chain, matmul, running_example
+from repro.schedule import InfluencedScheduler
+
+
+def build(kernel, influenced=False, enable_vec=False):
+    scheduler = InfluencedScheduler(kernel)
+    tree = build_influence_tree(kernel) if influenced else None
+    schedule = scheduler.schedule(tree)
+    ast = generate_ast(kernel, schedule)
+    ast = vectorize(ast, kernel, schedule, scheduler.relations,
+                    enable=enable_vec)
+    return schedule, ast
+
+
+class TestMappableChain:
+    def test_stops_at_sequential(self):
+        kernel = matmul(8)
+        schedule, ast = build(kernel)
+        chain = _mappable_chain(ast, kernel.params)
+        # i and j are parallel; k is sequential.
+        assert len(chain) == 2
+
+    def test_stops_at_multi_child_seq(self):
+        kernel = running_example(8)
+        schedule, ast = build(kernel)
+        chain = _mappable_chain(ast, kernel.params)
+        assert len(chain) >= 1  # the fused i loop at least
+
+
+class TestHoisting:
+    def test_hoist_moves_coincident_out(self):
+        """Influenced running example: the schedule puts sequential k
+        outermost; hoisting must move the coincident i loop outside."""
+        kernel = running_example(16)
+        schedule, ast = build(kernel, influenced=True, enable_vec=True)
+        hoist_coincident_loops(ast, schedule)
+        outer = ast.children[0]
+        assert isinstance(outer, Loop)
+        info = schedule.dims[outer.schedule_dim]
+        assert info.coincident
+
+    def test_hoist_preserves_semantics(self):
+        kernel = running_example(4)
+        schedule, ast = build(kernel, influenced=True, enable_vec=True)
+        hoist_coincident_loops(ast, schedule)
+        assert check_semantics(kernel, ast) == []
+
+    def test_no_hoist_across_bands(self):
+        """Dims in different bands must not be interchanged."""
+        kernel = elementwise_chain(8, 2)
+        schedule, ast = build(kernel)
+        before = [n.var for n in walk(ast) if isinstance(n, Loop)]
+        hoist_coincident_loops(ast, schedule)
+        after = [n.var for n in walk(ast) if isinstance(n, Loop)]
+        assert before == after  # i, j already coincident-outermost
+
+
+class TestAxisAssignment:
+    def test_blockidx_x_is_innermost_block_loop(self):
+        kernel = Kernel("k4", params={"A": 4, "B": 8, "C": 16, "D": 32})
+        kernel.add_tensor("T", (4, 8, 16, 32))
+        kernel.add_statement(
+            "S", [("a", 0, "A"), ("b", 0, "B"), ("c", 0, "C"), ("d", 0, "D")],
+            writes=[("T", ["a", "b", "c", "d"])])
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule, max_threads=32)
+        # Thread loop is the innermost (d); among block loops a, b, c the
+        # innermost (c) must get the fastest axis, blockIdx.x.
+        x_dim = next(dim for dim in mapped.grid if dim.mapping == "blockIdx.x")
+        assert x_dim.extent == 16
+        # Grid list is fastest-first for the simulator's decomposition.
+        assert mapped.grid[0].mapping == "blockIdx.x"
+
+    def test_extra_parallel_loops_stay_sequential(self):
+        kernel = Kernel("k5", params=dict(A=2, B=2, C=2, D=2, E=32))
+        kernel.add_tensor("T", (2, 2, 2, 2, 32))
+        kernel.add_statement(
+            "S", [("a", 0, "A"), ("b", 0, "B"), ("c", 0, "C"),
+                  ("d", 0, "D"), ("e", 0, "E")],
+            writes=[("T", ["a", "b", "c", "d", "e"])])
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule, max_threads=32)
+        assert len(mapped.grid) <= 3
+        unmapped = [n for n in walk(mapped.ast)
+                    if isinstance(n, Loop) and n.mapping is None]
+        assert unmapped  # at least one loop left sequential in-thread
+        assert check_semantics(kernel, mapped.ast) == []
+
+    def test_degenerate_no_parallelism(self):
+        kernel = Kernel("seq", params={"N": 8})
+        kernel.add_tensor("A", (8,))
+        # A[i] depends on A[i-1]: the single loop is sequential.
+        kernel.add_statement("S", [("i", 1, "N")],
+                             writes=[("A", ["i"])],
+                             reads=[("A", ["i - 1"])])
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule)
+        assert mapped.n_blocks == 1
+        assert mapped.n_threads_per_block == 1
+        assert check_semantics(kernel, mapped.ast) == []
+
+
+class TestThreadStripMine:
+    def test_ragged_thread_extent_guarded(self):
+        kernel = elementwise_chain(10, 1)  # 10 % 8 != 0
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule, max_threads=8)
+        assert mapped.n_threads_per_block == 8
+        assert check_semantics(kernel, mapped.ast) == []

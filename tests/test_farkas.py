@@ -1,0 +1,137 @@
+"""Tests for the Farkas linearization machinery."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.farkas import (
+    SymbolicAffineForm,
+    _eliminate_equalities,
+    add_farkas_nonneg,
+)
+from repro.sets import Polyhedron, var
+from repro.solver.problem import LinExpr, Problem
+
+
+def box(dims, lo, hi):
+    cs = []
+    for d in dims:
+        cs.append(var(d) >= lo)
+        cs.append(var(d) <= hi)
+    return Polyhedron(dims, cs)
+
+
+class TestSymbolicForm:
+    def test_add_term_accumulates(self):
+        form = SymbolicAffineForm()
+        form.add_term("x", var("a"))
+        form.add_term("x", var("b"))
+        assert form.coefficient("x") == var("a") + var("b")
+
+    def test_copy_independent(self):
+        form = SymbolicAffineForm({"x": var("a")}, var("c"))
+        clone = form.copy()
+        clone.add_term("x", var("b"))
+        assert form.coefficient("x") == var("a")
+
+
+class TestEqualityElimination:
+    def test_substitutes_into_form(self):
+        # x == y on dims (x, y); form a*x + b*y  ->  (a+b)*y.
+        dims, ineqs, form = _eliminate_equalities(
+            ["x", "y"], [var("x") - var("y")], [],
+            SymbolicAffineForm({"x": var("a"), "y": var("b")}))
+        assert len(dims) == 1
+        remaining = dims[0]
+        assert form.coefficient(remaining) == var("a") + var("b")
+
+    def test_inconsistent_constant_rejected(self):
+        with pytest.raises(ValueError):
+            _eliminate_equalities(["x"], [LinExpr(const=1)], [],
+                                  SymbolicAffineForm())
+
+    def test_trivial_inequality_dropped(self):
+        dims, ineqs, _ = _eliminate_equalities(
+            ["x"], [], [LinExpr(const=5)], SymbolicAffineForm())
+        assert ineqs == []
+
+
+class TestFarkasSoundness:
+    def solve_coeffs(self, poly, lower=-4, upper=4):
+        """Build the Farkas system for ``sum c_d d + c0 >= 0`` on poly with
+        the coefficients as bounded unknowns."""
+        problem = Problem()
+        coeff_vars = {}
+        for d in poly.dims:
+            coeff_vars[d] = problem.add_variable(f"c_{d}", lower=lower,
+                                                 upper=upper)
+        c0 = problem.add_variable("c0", lower=lower, upper=upper)
+        form = SymbolicAffineForm({d: coeff_vars[d] for d in poly.dims}, c0)
+        add_farkas_nonneg(problem, "t", poly, form)
+        return problem, coeff_vars, c0
+
+    def test_valid_form_feasible(self):
+        poly = box(["x"], 0, 10)
+        problem, cv, c0 = self.solve_coeffs(poly)
+        # c_x = 1, c0 = 0: x >= 0 on [0, 10] must be certifiable.
+        problem.add_constraint(cv["x"].eq(1))
+        problem.add_constraint(c0.eq(0))
+        assert problem.solve() is not None
+
+    def test_invalid_form_infeasible(self):
+        poly = box(["x"], 0, 10)
+        problem, cv, c0 = self.solve_coeffs(poly)
+        # -x + 5 is negative at x=10: not nonneg on the box.
+        problem.add_constraint(cv["x"].eq(-1))
+        problem.add_constraint(c0.eq(5))
+        assert problem.solve() is None
+
+    def test_negative_certificate_needs_negative_allowed(self):
+        # x - 10 <= 0 on [0,10]: 10 - x >= 0 certifiable.
+        poly = box(["x"], 0, 10)
+        problem, cv, c0 = self.solve_coeffs(poly, lower=-16, upper=16)
+        problem.add_constraint(cv["x"].eq(-1))
+        problem.add_constraint(c0.eq(10))
+        assert problem.solve() is not None
+
+    @given(st.integers(-3, 3), st.integers(-3, 3), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_farkas_matches_bruteforce(self, a, b, c0):
+        """Property: the Farkas system is feasible with pinned coefficients
+        exactly when the form is nonnegative on every integer point."""
+        poly = box(["x", "y"], 0, 3)
+        truly_nonneg = all(a * x + b * y + c0 >= 0
+                           for x in range(4) for y in range(4))
+        problem, cv, c0_var = self.solve_coeffs(poly)
+        problem.add_constraint(cv["x"].eq(a))
+        problem.add_constraint(cv["y"].eq(b))
+        problem.add_constraint(c0_var.eq(c0))
+        feasible = problem.solve() is not None
+        # Farkas over a box (integer vertices) is exact.
+        assert feasible == truly_nonneg
+
+    def test_equality_heavy_polyhedron(self):
+        # Dependence-style set: x == y, 0 <= y <= 7.
+        poly = Polyhedron(["x", "y"],
+                          [(var("x") - var("y")).eq(0),
+                           var("y") >= 0, var("y") <= 7])
+        problem, cv, c0 = self.solve_coeffs(poly)
+        # x - y is identically 0 on the set: certifiable.
+        problem.add_constraint(cv["x"].eq(1))
+        problem.add_constraint(cv["y"].eq(-1))
+        problem.add_constraint(c0.eq(0))
+        assert problem.solve() is not None
+
+    def test_multiplier_count_reduced_by_equalities(self):
+        plain = box(["x", "y"], 0, 3)
+        fused = plain.with_constraints([(var("x") - var("y")).eq(0)])
+        p1 = Problem()
+        form1 = SymbolicAffineForm({}, p1.add_variable("c", lower=0, upper=1))
+        n_plain = add_farkas_nonneg(p1, "a", plain, form1.copy())
+        p2 = Problem()
+        form2 = SymbolicAffineForm({}, p2.add_variable("c", lower=0, upper=1))
+        n_fused = add_farkas_nonneg(p2, "a", fused, form2)
+        # Eliminating the equality drops a dimension and its constraints.
+        assert n_fused <= n_plain

@@ -1,0 +1,184 @@
+"""Tests for the sector cache hierarchy and warp access model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import MemoryHierarchy, SectorCache, warp_access
+
+
+def hierarchy(l1=1024, l2=8192, sector=32):
+    return MemoryHierarchy(l1, l2, sector)
+
+
+class TestSectorCache:
+    def test_load_miss_then_hit(self):
+        c = SectorCache(1024, 32)
+        hit, _ = c.load(5)
+        assert not hit
+        hit, _ = c.load(5)
+        assert hit
+
+    def test_lru_eviction(self):
+        c = SectorCache(2 * 32, 32)  # capacity: 2 sectors
+        c.load(1)
+        c.load(2)
+        c.load(3)  # evicts 1
+        hit, _ = c.load(1)
+        assert not hit
+
+    def test_dirty_eviction_reported(self):
+        c = SectorCache(2 * 32, 32)
+        assert c.store(1) is None
+        assert c.store(2) is None
+        evicted = c.store(3)  # evicts dirty sector 1
+        assert evicted == 1
+
+    def test_clean_eviction_not_reported(self):
+        c = SectorCache(2 * 32, 32)
+        c.load(1)
+        c.load(2)
+        _, evicted = c.load(3)
+        assert evicted is None
+
+    def test_flush_returns_dirty(self):
+        c = SectorCache(1024, 32)
+        c.store(7)
+        c.load(8)
+        assert c.flush() == [7]
+        assert c.flush() == []  # now clean
+
+    def test_store_marks_existing_dirty(self):
+        c = SectorCache(1024, 32)
+        c.load(3)
+        c.store(3)
+        assert c.flush() == [3]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SectorCache(0, 32)
+
+
+class TestMemoryHierarchy:
+    def test_load_counts_dram_once(self):
+        m = hierarchy()
+        m.load_sector(1)
+        m.load_sector(1)
+        assert m.dram_reads == 1
+
+    def test_l2_backs_l1(self):
+        m = hierarchy(l1=2 * 32)  # tiny L1: 2 sectors
+        m.load_sector(1)
+        m.load_sector(2)
+        m.load_sector(3)  # 1 evicted from L1, still in L2
+        m.load_sector(1)
+        assert m.dram_reads == 3  # the re-load of 1 hits L2
+
+    def test_store_combining(self):
+        """Repeated stores to one sector cost one write-back (accumulators)."""
+        m = hierarchy()
+        for _ in range(100):
+            m.store_sector(9)
+        m.end_kernel()
+        assert m.dram_writes == 1
+
+    def test_scattered_stores_all_written(self):
+        m = hierarchy()
+        for s in range(50):
+            m.store_sector(s)
+        m.end_kernel()
+        assert m.dram_writes == 50
+
+    def test_store_then_load_forwards(self):
+        """A load after a store to the same sector must not touch DRAM."""
+        m = hierarchy()
+        m.store_sector(4)
+        m.load_sector(4)
+        assert m.dram_reads == 0
+
+    def test_end_block_spills_to_l2_not_dram(self):
+        m = hierarchy()
+        m.store_sector(4)
+        m.end_block()
+        assert m.dram_writes == 0
+        m.end_kernel()
+        assert m.dram_writes == 1
+
+    def test_capacity_pressure_writes_back(self):
+        m = hierarchy(l1=32, l2=2 * 32)
+        m.store_sector(1)
+        m.end_block()
+        m.store_sector(2)
+        m.end_block()
+        m.store_sector(3)  # L2 overflows: dirty eviction
+        m.end_block()
+        m.end_kernel()
+        assert m.dram_writes == 3  # every dirty sector eventually lands
+
+
+class TestWarpAccess:
+    def test_coalesced_load(self):
+        m = hierarchy()
+        # 32 lanes x 4B consecutive = 128 bytes = 4 sectors.
+        ranges = [(lane * 4, 4) for lane in range(32)]
+        result = warp_access(m, ranges, is_write=False)
+        assert result.sectors_touched == 4
+        assert m.dram_reads == 4
+        assert result.bytes_requested == 128
+
+    def test_strided_load(self):
+        m = hierarchy(l2=100 * 32)
+        ranges = [(lane * 256, 4) for lane in range(32)]
+        result = warp_access(m, ranges, is_write=False)
+        assert result.sectors_touched == 32
+
+    def test_vector_access_counts_lane_width(self):
+        m = hierarchy()
+        # 8 lanes x 16B consecutive = 4 sectors.
+        ranges = [(lane * 16, 16) for lane in range(8)]
+        result = warp_access(m, ranges, is_write=False)
+        assert result.sectors_touched == 4
+        assert result.bytes_requested == 128
+
+    def test_broadcast_single_sector(self):
+        m = hierarchy()
+        ranges = [(64, 4)] * 32
+        result = warp_access(m, ranges, is_write=False)
+        assert result.sectors_touched == 1
+
+    def test_write_transactions_deferred(self):
+        m = hierarchy()
+        ranges = [(lane * 4, 4) for lane in range(32)]
+        warp_access(m, ranges, is_write=True)
+        assert m.dram_writes == 0
+        m.end_kernel()
+        assert m.dram_writes == 4
+
+    def test_zero_byte_rejected(self):
+        with pytest.raises(ValueError):
+            warp_access(hierarchy(), [(0, 0)], False)
+
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=200),
+       st.integers(2, 16))
+@settings(max_examples=50, deadline=None)
+def test_writeback_bounds(sectors, capacity):
+    """Property: write-backs are bounded below by the distinct dirty
+    sectors and above by the total number of stores (a sector evicted
+    dirty and re-dirtied later writes back again)."""
+    m = MemoryHierarchy(capacity * 32, capacity * 64, 32)
+    for s in sectors:
+        m.store_sector(s)
+    m.end_kernel()
+    assert len(set(sectors)) <= m.dram_writes <= len(sectors)
+
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_writeback_exact_without_pressure(sectors):
+    """Without capacity pressure every distinct sector writes back once."""
+    m = MemoryHierarchy(1024 * 32, 1024 * 32, 32)
+    for s in sectors:
+        m.store_sector(s)
+    m.end_kernel()
+    assert m.dram_writes == len(set(sectors))

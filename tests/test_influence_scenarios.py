@@ -1,0 +1,154 @@
+"""Tests for Algorithm 2 (influenced dimension scenarios) and the tree builder."""
+
+import pytest
+
+from repro.influence import (
+    CostWeights,
+    build_influence_tree,
+    build_scenarios,
+    dimension_cost,
+)
+from repro.influence.scenarios import (
+    build_statement_scenarios,
+    iterator_extent,
+)
+from repro.ir import Kernel
+from repro.ir.examples import matmul, running_example, transpose_add
+from repro.ir.types import FLOAT64
+
+
+class TestIteratorExtent:
+    def test_rectangular(self):
+        k = running_example(16)
+        s = k.statement("Y")
+        assert iterator_extent(s, "j", k.params) == 16
+
+    def test_triangular_max(self):
+        k = Kernel("tri", params={"N": 8})
+        k.add_tensor("A", (8, 8))
+        s = k.add_statement("S", [("i", 0, "N"), ("j", 0, "i + 1")],
+                            writes=[("A", ["i", "j"])])
+        # j ranges over at most 8 values (when i == 7).
+        assert iterator_extent(s, "j", k.params) == 8
+
+
+class TestCost:
+    def test_store_vectorization_beats_load(self):
+        """w1 > w2: a stride-1 store outweighs a stride-1 load."""
+        k = Kernel("t", params={"N": 64})
+        k.add_tensor("A", (64, 64))
+        k.add_tensor("B", (64, 64))
+        s = k.add_statement("S", [("i", 0, "N"), ("j", 0, "N")],
+                            writes=[("B", ["i", "j"])],
+                            reads=[("A", ["j", "i"])])
+        w = CostWeights()
+        # Innermost j: store stride 1; innermost i: load stride 1.
+        cost_j = dimension_cost(w, s.accesses, 1024, 64, "j", True)
+        cost_i = dimension_cost(w, s.accesses, 1024, 64, "i", True)
+        assert cost_j > cost_i
+
+    def test_broadcast_reads_count_as_vectorizable(self):
+        k = running_example(64)
+        y = k.statement("Y")
+        w = CostWeights()
+        # Along j: C store stride 1, C/D reads stride 1/1, B read stride 0.
+        cost = dimension_cost(w, y.accesses, 1024, 64, "j", True)
+        # w1*1 + w2*3 (C read, B broadcast, D read) + w3/1 + w4*|{C,C,D}| + F-term
+        assert cost > CostWeights().w1  # store term present plus more
+
+    def test_thread_term_zero_when_big(self):
+        k = running_example(64)
+        y = k.statement("Y")
+        w = CostWeights(w1=0, w2=0, w3=0, w4=0, w5=1)
+        big = dimension_cost(w, y.accesses, 32, 64, "j", False)
+        small = dimension_cost(w, y.accesses, 1024, 64, "j", False)
+        assert big == 0
+        assert small == 64 / 1024
+
+
+class TestScenarios:
+    def test_running_example_innermost_j(self):
+        k = running_example(64)
+        scenarios = build_scenarios(k)
+        primary = scenarios["Y"][0]
+        assert primary.innermost == "j"
+        assert primary.vectorizable
+        assert primary.vector_width == 4  # float32, extent 64 % 4 == 0
+
+    def test_scenario_length_cap(self):
+        k = running_example(64)
+        for scenario in build_scenarios(k)["Y"]:
+            assert len(scenario.dims) <= 3
+
+    def test_alternatives_differ_in_innermost(self):
+        k = running_example(64)
+        inner = [s.innermost for s in build_scenarios(k)["Y"]]
+        assert len(set(inner)) == len(inner)
+
+    def test_transpose_prefers_store_side(self):
+        k = transpose_add(64)
+        scenarios = build_scenarios(k)
+        # T writes B[i][j] and reads A[j][i]: store side means innermost j.
+        assert scenarios["T"][0].innermost == "j"
+
+    def test_vector_width_respects_dtype(self):
+        k = Kernel("d64", params={"N": 64})
+        k.add_tensor("A", (64, 64), FLOAT64)
+        k.add_tensor("B", (64, 64), FLOAT64)
+        k.add_statement("S", [("i", 0, "N"), ("j", 0, "N")],
+                        writes=[("B", ["i", "j"])], reads=[("A", ["i", "j"])])
+        scenarios = build_scenarios(k)
+        assert scenarios["S"][0].vector_width == 2  # double2 only
+
+    def test_odd_extent_not_vectorizable(self):
+        k = Kernel("odd", params={"N": 63})
+        k.add_tensor("A", (63, 63))
+        k.add_tensor("B", (63, 63))
+        k.add_statement("S", [("i", 0, "N"), ("j", 0, "N")],
+                        writes=[("B", ["i", "j"])], reads=[("A", ["i", "j"])])
+        scenarios = build_scenarios(k)
+        assert scenarios["S"][0].vector_width == 0
+
+
+class TestTreeBuilder:
+    def test_tree_shape_running_example(self):
+        k = running_example(64)
+        tree = build_influence_tree(k)
+        tree.validate()
+        assert tree.root.children  # at least one scenario branch
+        # Highest-priority branch is the fused variant.
+        assert "fused" in tree.root.children[0].label
+
+    def test_leaf_marks_vector(self):
+        k = running_example(64)
+        tree = build_influence_tree(k)
+        node = tree.root.children[0]
+        while node.children:
+            node = node.children[0]
+        assert node.mark_vector
+        assert node.vector_width == 4
+
+    def test_branch_cap(self):
+        k = running_example(64)
+        tree = build_influence_tree(k, max_branches=2)
+
+        def count_leaves(node):
+            if not node.children:
+                return 1
+            return sum(count_leaves(c) for c in node.children)
+        assert count_leaves(tree.root) <= 2
+
+    def test_single_statement_no_fusion_variant(self):
+        k = matmul(32)
+        tree = build_influence_tree(k)
+        for child in tree.root.children:
+            assert "solo" in child.label
+
+    def test_prefix_merging(self):
+        """Fused and solo variants of one scenario share no prefix (their
+        depth-0 constraints differ), but identical chains merge."""
+        k = running_example(64)
+        tree = build_influence_tree(k)
+        # Re-building produces the same number of nodes (deterministic).
+        tree2 = build_influence_tree(k)
+        assert tree.n_nodes() == tree2.n_nodes()

@@ -1,0 +1,121 @@
+"""Tests for the influence constraint tree abstraction."""
+
+import pytest
+
+from repro.influence import (
+    InfluenceNode,
+    InfluenceTree,
+    theta_const,
+    theta_iter,
+    theta_param,
+)
+from repro.influence.tree import parse_theta
+from repro.solver.problem import var
+
+
+def chain_tree(depths: int) -> InfluenceTree:
+    tree = InfluenceTree()
+    node = tree.root
+    for d in range(depths):
+        node = node.add_child(InfluenceNode(label=f"n{d}"))
+    return tree
+
+
+class TestNames:
+    def test_roundtrip_iter(self):
+        name = theta_iter("Y", 2, 1)
+        assert parse_theta(name) == ("Y", 2, "i1")
+
+    def test_roundtrip_param(self):
+        name = theta_param("X", 0, "N")
+        assert parse_theta(name) == ("X", 0, "p[N]")
+
+    def test_roundtrip_const(self):
+        assert parse_theta(theta_const("X", 1)) == ("X", 1, "0")
+
+    def test_non_theta(self):
+        assert parse_theta("c[X].i0") is None
+
+
+class TestTreeStructure:
+    def test_empty_tree_no_cursor(self):
+        assert InfluenceTree().cursor() is None
+
+    def test_cursor_walk(self):
+        tree = chain_tree(3)
+        cursor = tree.cursor()
+        assert cursor.depth == 0
+        cursor = cursor.first_child()
+        assert cursor.depth == 1
+        assert cursor.first_child().depth == 2
+        assert cursor.first_child().first_child() is None
+
+    def test_right_sibling(self):
+        tree = InfluenceTree()
+        tree.root.add_child(InfluenceNode(label="a"))
+        tree.root.add_child(InfluenceNode(label="b"))
+        cursor = tree.cursor()
+        assert cursor.node.label == "a"
+        sib = cursor.right_sibling()
+        assert sib.node.label == "b"
+        assert sib.right_sibling() is None
+
+    def test_ancestor_right_sibling(self):
+        tree = InfluenceTree()
+        a = tree.root.add_child(InfluenceNode(label="a"))
+        tree.root.add_child(InfluenceNode(label="b"))
+        a.add_child(InfluenceNode(label="a0"))
+        cursor = tree.cursor().first_child()
+        assert cursor.node.label == "a0"
+        up = cursor.ancestor_right_sibling()
+        assert up.node.label == "b"
+        assert up.depth == 0
+
+    def test_ancestor_sibling_none(self):
+        tree = chain_tree(3)
+        cursor = tree.cursor().first_child().first_child()
+        assert cursor.ancestor_right_sibling() is None
+
+    def test_n_nodes(self):
+        tree = InfluenceTree()
+        a = tree.root.add_child(InfluenceNode())
+        a.add_child(InfluenceNode())
+        tree.root.add_child(InfluenceNode())
+        assert tree.n_nodes() == 3
+
+
+class TestValidation:
+    def test_root_constraints_rejected(self):
+        tree = InfluenceTree()
+        tree.root.constraints.append(var(theta_iter("X", 0, 0)).eq(1))
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_future_dimension_rejected(self):
+        tree = InfluenceTree()
+        node = InfluenceNode(constraints=[var(theta_iter("X", 1, 0)).eq(1)])
+        tree.root.add_child(node)  # depth 0 node mentioning dim 1
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_past_dimension_allowed(self):
+        tree = InfluenceTree()
+        d0 = tree.root.add_child(InfluenceNode(
+            constraints=[var(theta_iter("X", 0, 0)).eq(0)]))
+        d0.add_child(InfluenceNode(
+            constraints=[var(theta_iter("X", 0, 0))
+                         + var(theta_iter("X", 1, 0)) >= 1]))
+        tree.validate()
+
+    def test_max_dim_mentioned(self):
+        node = InfluenceNode(constraints=[
+            var(theta_iter("X", 2, 0)) + var(theta_const("Y", 1)) >= 0])
+        assert node.max_dim_mentioned() == 2
+
+    def test_pretty_contains_labels(self):
+        tree = InfluenceTree()
+        node = tree.root.add_child(InfluenceNode(
+            label="vec", require_parallel=True,
+            constraints=[var(theta_iter("X", 0, 0)).eq(1)]))
+        text = tree.pretty()
+        assert "vec" in text and "parallel" in text

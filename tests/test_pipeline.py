@@ -1,0 +1,150 @@
+"""Tests for the AKG pipeline, its four variants, and the workload zoo."""
+
+import pytest
+
+from repro.codegen.interp import check_semantics
+from repro.ir import Kernel
+from repro.pipeline import AkgPipeline, VARIANTS
+from repro.pipeline.akg import _adjacent_clusters
+from repro.workloads import NETWORKS, generate_network_suite, operators
+from repro.workloads.networks import table1_rows
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return AkgPipeline(sample_blocks=2)
+
+
+class TestClustering:
+    def test_identical_spaces_cluster(self):
+        k = operators.elementwise_chain_op("c", rows=16, cols=8, length=3)
+        clusters = _adjacent_clusters(k)
+        assert len(clusters) == 1  # one fused kernel, like isl
+
+    def test_space_change_splits(self):
+        k = operators.reduce_producer_op("r", rows=16, red=8)
+        clusters = _adjacent_clusters(k)
+        assert len(clusters) == 2  # producer nest and consumer nest
+
+    def test_adjacency_preserved(self):
+        """Non-adjacent same-space statements must not merge across a
+        different-space statement (dependences would reorder)."""
+        k = Kernel("mix", params={"M": 8, "N": 4})
+        k.add_tensor("A", (8, 4))
+        k.add_tensor("B", (8, 4))
+        k.add_tensor("R", (8,))
+        k.add_tensor("C", (8, 4))
+        k.add_statement("E1", [("i", 0, "M"), ("j", 0, "N")],
+                        writes=[("B", ["i", "j"])], reads=[("A", ["i", "j"])])
+        k.add_statement("Red", [("i", 0, "M"), ("k", 0, "N")],
+                        writes=[("R", ["i"])],
+                        reads=[("R", ["i"]), ("B", ["i", "k"])])
+        k.add_statement("E2", [("i", 0, "M"), ("j", 0, "N")],
+                        writes=[("C", ["i", "j"])],
+                        reads=[("B", ["i", "j"]), ("R", ["i"])])
+        clusters = _adjacent_clusters(k)
+        assert [len(c) for c in clusters] == [1, 1, 1]
+
+
+class TestVariants:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return operators.reduce_producer_op("op", rows=64, red=8)
+
+    def test_unknown_variant_rejected(self, pipeline, kernel):
+        with pytest.raises(ValueError):
+            pipeline.compile(kernel, "magic")
+
+    def test_isl_distributes(self, pipeline, kernel):
+        compiled = pipeline.compile(kernel, "isl")
+        assert compiled.n_launches == 2
+        assert not compiled.vectorized
+
+    def test_tvm_per_statement(self, pipeline, kernel):
+        compiled = pipeline.compile(kernel, "tvm")
+        assert compiled.n_launches == len(kernel.statements)
+        assert not compiled.vectorized
+
+    def test_infl_single_launch(self, pipeline, kernel):
+        compiled = pipeline.compile(kernel, "infl")
+        assert compiled.n_launches == 1
+
+    def test_novec_matches_infl_schedule(self, pipeline, kernel):
+        novec = pipeline.compile(kernel, "novec")
+        infl = pipeline.compile(kernel, "infl")
+        assert not novec.vectorized
+        # Same scheduling: signatures differ only in vector annotations.
+        assert novec.n_launches == infl.n_launches
+
+    def test_all_variants_semantics(self, pipeline, kernel):
+        small = operators.reduce_producer_op("sem", rows=6, red=3)
+        for variant in VARIANTS:
+            compiled = pipeline.compile(small, variant)
+            for launch in compiled.launches:
+                assert check_semantics(launch.kernel, launch.ast) == [], \
+                    f"variant {variant} broke semantics"
+
+    def test_measure_produces_time(self, pipeline, kernel):
+        timing = pipeline.compile_and_measure(kernel, "infl")
+        assert timing.time > 0
+        assert timing.dram_bytes > 0
+
+
+class TestSignature:
+    def test_neutral_op_not_influenced(self, pipeline):
+        """An operator whose textual order is already optimal and whose
+        extent is odd must compile identically under isl and infl."""
+        k = operators.elementwise_chain_op("neutral", rows=64, cols=31,
+                                           length=1)
+        isl = pipeline.compile(k, "isl")
+        infl = pipeline.compile(k, "infl")
+        assert isl.signature() == infl.signature()
+
+    def test_conversion_is_influenced(self, pipeline):
+        k = operators.layout_conversion_op("conv", 2, 16, 8, 8)
+        isl = pipeline.compile(k, "isl")
+        infl = pipeline.compile(k, "infl")
+        assert isl.signature() != infl.signature()
+
+
+class TestWorkloads:
+    def test_table1_registry(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert ("BERT", "nlp", "zhwiki") in rows
+
+    def test_operator_counts_match_paper(self):
+        expected = {"BERT": 109, "LSTM": 4, "MobileNetv2": 18,
+                    "ResNet50": 17, "ResNet101": 22, "ResNeXt50": 33,
+                    "VGG16": 14}
+        for name, count in expected.items():
+            assert NETWORKS[name].total_operators == count
+            suite = generate_network_suite(name)
+            assert len(suite) == count
+
+    def test_deterministic_generation(self):
+        a = generate_network_suite("VGG16", seed=3)
+        b = generate_network_suite("VGG16", seed=3)
+        assert [k.name for _, k in a] == [k.name for _, k in b]
+        assert [cls for cls, _ in a] == [cls for cls, _ in b]
+
+    def test_seeds_differ(self):
+        a = generate_network_suite("VGG16", seed=1)
+        b = generate_network_suite("VGG16", seed=2)
+        shapes_a = [tuple(k.params.items()) for _, k in a]
+        shapes_b = [tuple(k.params.items()) for _, k in b]
+        assert shapes_a != shapes_b
+
+    def test_limit_sampling(self):
+        suite = generate_network_suite("BERT", limit=10)
+        assert len(suite) == 10
+
+    def test_all_generated_kernels_valid(self):
+        for network in NETWORKS:
+            for _, kernel in generate_network_suite(network, limit=5):
+                kernel.validate()
+
+    def test_resnets_carry_conversions(self):
+        for network in ("ResNet50", "ResNet101"):
+            classes = {cls for cls, _ in generate_network_suite(network)}
+            assert any("layout_conversion" in c for c in classes)

@@ -1,0 +1,95 @@
+"""Tests for report generation and schedule serialization."""
+
+import json
+
+import pytest
+
+from repro.codegen import generate_ast
+from repro.codegen.ast import render_ast
+from repro.eval import EvaluationConfig, evaluate_network
+from repro.eval.report import (
+    json_dump,
+    markdown_summary,
+    operators_csv,
+    write_report,
+)
+from repro.ir.examples import matmul, running_example
+from repro.schedule import InfluencedScheduler
+from repro.schedule.serialize import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def lstm_result():
+    return evaluate_network("LSTM",
+                            EvaluationConfig(limit_per_network=2,
+                                             sample_blocks=2))
+
+
+class TestReport:
+    def test_csv_rows(self, lstm_result):
+        text = operators_csv([lstm_result])
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + lstm_result.count_total
+        assert lines[0].startswith("network,operator")
+
+    def test_markdown_summary(self, lstm_result):
+        text = markdown_summary([lstm_result])
+        assert "LSTM" in text
+        assert "geomean" in text
+
+    def test_json_roundtrip(self, lstm_result):
+        payload = json.loads(json_dump({"LSTM": lstm_result}))
+        assert payload["LSTM"]["row"]["total"] == lstm_result.count_total
+        assert len(payload["LSTM"]["operators"]) == lstm_result.count_total
+
+    def test_write_report(self, lstm_result, tmp_path):
+        paths = write_report({"LSTM": lstm_result}, tmp_path / "rep")
+        assert {p.name for p in paths} == {"operators.csv", "summary.md",
+                                           "results.json"}
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+
+class TestScheduleSerialization:
+    def test_roundtrip_preserves_codegen(self):
+        kernel = running_example(8)
+        scheduler = InfluencedScheduler(kernel)
+        schedule = scheduler.schedule()
+        rebuilt = schedule_from_json(kernel, schedule_to_json(schedule))
+        assert render_ast(generate_ast(kernel, rebuilt)) == \
+            render_ast(generate_ast(kernel, schedule))
+
+    def test_roundtrip_preserves_metadata(self):
+        kernel = matmul(4)
+        schedule = InfluencedScheduler(kernel).schedule()
+        rebuilt = schedule_from_dict(kernel, schedule_to_dict(schedule))
+        assert [i.parallel for i in rebuilt.dims] == \
+            [i.parallel for i in schedule.dims]
+        assert [i.band for i in rebuilt.dims] == \
+            [i.band for i in schedule.dims]
+
+    def test_version_check(self):
+        kernel = matmul(4)
+        payload = schedule_to_dict(InfluencedScheduler(kernel).schedule())
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            schedule_from_dict(kernel, payload)
+
+    def test_statement_mismatch(self):
+        a = matmul(4)
+        b = running_example(4)
+        payload = schedule_to_dict(InfluencedScheduler(a).schedule())
+        with pytest.raises(ValueError):
+            schedule_from_dict(b, payload)
+
+    def test_param_mismatch(self):
+        kernel = matmul(4)
+        payload = schedule_to_dict(InfluencedScheduler(kernel).schedule())
+        payload["params"] = ["Z"]
+        with pytest.raises(ValueError):
+            schedule_from_dict(kernel, payload)

@@ -1,0 +1,121 @@
+"""Direct unit tests for ScheduleRow / Schedule containers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.examples import matmul, running_example
+from repro.schedule import Schedule, ScheduleRow
+from repro.schedule.functions import DimensionInfo
+
+
+@pytest.fixture
+def kernel():
+    return running_example(4)
+
+
+def row(statement, params, iters, pars, const):
+    return ScheduleRow.from_coeffs(statement, params, iters, pars, const)
+
+
+class TestScheduleRow:
+    def test_as_expr(self, kernel):
+        x = kernel.statement("X")
+        r = row(x, ["N"], [1, 2], [3], 4)
+        expr = r.as_expr()
+        assert expr.coeffs["i"] == 1
+        assert expr.coeffs["k"] == 2
+        assert expr.coeffs["N"] == 3
+        assert expr.const == 4
+
+    def test_evaluate(self, kernel):
+        x = kernel.statement("X")
+        r = row(x, ["N"], [1, 0], [1], 2)
+        value = r.evaluate({"i": Fraction(3), "k": Fraction(9)}, {"N": 4})
+        assert value == 3 + 4 + 2
+
+    def test_scalar(self, kernel):
+        x = kernel.statement("X")
+        r = ScheduleRow.scalar(x, ["N"], 7)
+        assert r.is_scalar and r.const == 7
+
+    def test_coefficient_of_unknown(self, kernel):
+        x = kernel.statement("X")
+        r = row(x, ["N"], [1, 0], [0], 0)
+        assert r.coefficient_of("zzz") == 0
+
+    def test_arity_checks(self, kernel):
+        x = kernel.statement("X")
+        with pytest.raises(ValueError):
+            ScheduleRow(("i", "k"), (1,), ("N",), (0,), 0)
+
+    def test_param_coeff_merges_with_iter_name_clash(self, kernel):
+        # A parameter named like nothing here; just check param path.
+        x = kernel.statement("X")
+        r = row(x, ["N"], [0, 0], [2], 0)
+        assert r.as_expr().coeffs == {"N": Fraction(2)}
+
+
+class TestSchedule:
+    def build(self, kernel):
+        schedule = Schedule(kernel.statements, ["N"])
+        x = kernel.statement("X")
+        y = kernel.statement("Y")
+        schedule.append_dimension(
+            {"X": row(x, ["N"], [1, 0], [0], 0),
+             "Y": row(y, ["N"], [1, 0, 0], [0], 0)},
+            DimensionInfo(coincident=True, band=0))
+        schedule.append_dimension(
+            {"X": row(x, ["N"], [0, 1], [0], 0),
+             "Y": row(y, ["N"], [0, 0, 1], [0], 0)},
+            DimensionInfo(band=0))
+        schedule.append_dimension(
+            {"X": ScheduleRow.scalar(x, ["N"], 0),
+             "Y": row(y, ["N"], [0, 1, 0], [0], 0)},
+            DimensionInfo(band=1))
+        return schedule
+
+    def test_missing_statement_rejected(self, kernel):
+        schedule = Schedule(kernel.statements, ["N"])
+        x = kernel.statement("X")
+        with pytest.raises(ValueError):
+            schedule.append_dimension({"X": row(x, ["N"], [1, 0], [0], 0)})
+
+    def test_rank_and_completeness(self, kernel):
+        schedule = self.build(kernel)
+        assert schedule.rank_of("X") == 2
+        assert schedule.rank_of("Y") == 3
+        assert schedule.is_complete()
+
+    def test_drop_dimensions(self, kernel):
+        schedule = self.build(kernel)
+        schedule.drop_dimensions_from(1)
+        assert schedule.n_dims == 1
+        assert len(schedule.rows_of("Y")) == 1
+
+    def test_bands(self, kernel):
+        schedule = self.build(kernel)
+        assert schedule.bands() == [[0, 1], [2]]
+
+    def test_vector_marking(self, kernel):
+        schedule = self.build(kernel)
+        assert schedule.vector_dim() is None
+        schedule.mark_vector(2)
+        assert schedule.vector_dim() == 2
+
+    def test_date_of(self, kernel):
+        schedule = self.build(kernel)
+        date = schedule.date_of("Y", {"i": Fraction(1), "j": Fraction(2),
+                                      "k": Fraction(3)}, {"N": 4})
+        assert date == (1, 3, 2)
+
+    def test_pretty_mentions_flags(self, kernel):
+        schedule = self.build(kernel)
+        text = schedule.pretty()
+        assert "coincident" in text and "band1" in text
+
+    def test_statement_lookup(self, kernel):
+        schedule = self.build(kernel)
+        assert schedule.statement("X").name == "X"
+        with pytest.raises(KeyError):
+            schedule.statement("nope")

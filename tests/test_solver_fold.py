@@ -1,0 +1,107 @@
+"""Property tests for lexicographic-objective folding and presolve.
+
+The scheduler decides every dimension through ``fold_objectives`` (one
+weighted ILP instead of N sequential lexmin solves) and ``presolved``
+(Farkas-multiplier elimination).  Both must be exact; these tests check
+them against the reference paths on random problems.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import Problem, var
+from repro.solver.problem import LinExpr
+
+
+def random_problem(draw_vars, constraints):
+    problem = Problem()
+    names = [f"x{i}" for i in range(draw_vars)]
+    for name in names:
+        problem.add_variable(name, lower=0, upper=5)
+    for coeffs, rhs in constraints:
+        expr = LinExpr()
+        for name, c in zip(names, coeffs):
+            expr = expr + c * var(name)
+        problem.add_constraint(expr >= rhs)
+    return problem, names
+
+
+@given(
+    st.lists(st.tuples(
+        st.lists(st.integers(-2, 3), min_size=3, max_size=3),
+        st.integers(0, 6)), min_size=1, max_size=3),
+    st.lists(st.lists(st.integers(0, 2), min_size=3, max_size=3),
+             min_size=2, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_fold_matches_lexmin(constraints, objective_rows):
+    """Folded single-solve == true sequential lexicographic minimization."""
+    problem, names = random_problem(3, constraints)
+    objectives = []
+    for row in objective_rows:
+        expr = LinExpr()
+        for name, c in zip(names, row):
+            expr = expr + c * var(name)
+        objectives.append(expr)
+
+    lex = problem.lexmin(objectives)
+    folded_expr = problem.fold_objectives(objectives)
+    assert folded_expr is not None
+    fold = problem.solve(objective=folded_expr)
+
+    assert (lex is None) == (fold is None)
+    if lex is not None:
+        # The objective *vectors* must agree (points may differ on ties
+        # beyond the listed objectives).
+        lex_vector = [obj.evaluate(lex) for obj in objectives]
+        fold_vector = [obj.evaluate(fold) for obj in objectives]
+        assert lex_vector == fold_vector
+
+
+def test_fold_requires_bounds():
+    problem = Problem()
+    x = problem.add_variable("x", lower=0)  # unbounded above
+    assert problem.fold_objectives([x]) is None
+
+
+@given(
+    st.lists(st.tuples(
+        st.lists(st.integers(-2, 3), min_size=3, max_size=3),
+        st.integers(0, 6)), min_size=1, max_size=3),
+    st.lists(st.integers(-2, 2), min_size=3, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_presolve_matches_reference(constraints, objective_row):
+    """Solving with and without presolve yields the same optimum."""
+    problem, names = random_problem(3, constraints)
+    # Add a continuous helper variable tied by an equality (the Farkas
+    # multiplier pattern presolve is built for).
+    lam = problem.add_variable("lam", lower=0, integer=False)
+    problem.add_constraint((lam - var("x0") - var("x1")).eq(0))
+
+    objective = LinExpr()
+    for name, c in zip(names, objective_row):
+        objective = objective + c * var(name)
+
+    with_presolve = problem.solve(objective=objective, presolve=True)
+    without = problem.solve(objective=objective, presolve=False)
+    assert (with_presolve is None) == (without is None)
+    if with_presolve is not None:
+        assert objective.evaluate(with_presolve) == \
+            objective.evaluate(without)
+        # The eliminated variable's recovered value satisfies its equality.
+        assert with_presolve["lam"] == \
+            with_presolve["x0"] + with_presolve["x1"]
+
+
+def test_presolve_keeps_protected_variables():
+    problem = Problem()
+    x = problem.add_variable("x", lower=0, upper=4)
+    lam = problem.add_variable("lam", lower=0, integer=False)
+    problem.add_constraint((lam - x).eq(0))
+    reduced, eliminated = problem.presolved(protect={"lam"})
+    assert "lam" in reduced.variables
+    assert not eliminated

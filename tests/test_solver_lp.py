@@ -1,0 +1,151 @@
+"""Tests for the exact two-phase simplex."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import LinearProgram, LPStatus, solve_lp
+
+
+def lp(obj, a_ub=(), b_ub=(), a_eq=(), b_eq=(), lower=None, upper=None):
+    n = len(obj)
+    return LinearProgram(
+        objective=list(obj),
+        a_ub=[list(r) for r in a_ub], b_ub=list(b_ub),
+        a_eq=[list(r) for r in a_eq], b_eq=list(b_eq),
+        lower=lower if lower is not None else [],
+        upper=upper if upper is not None else [],
+    )
+
+
+class TestBasicLP:
+    def test_trivial_minimum_at_origin(self):
+        result = solve_lp(lp([1, 1]))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.x == [0, 0]
+        assert result.objective == 0
+
+    def test_simple_bounded(self):
+        # min -x - y  s.t. x + y <= 4, x <= 3  (x, y >= 0)
+        result = solve_lp(lp([-1, -1], a_ub=[[1, 1], [1, 0]], b_ub=[4, 3]))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == -4
+
+    def test_equality_constraint(self):
+        # min x + y s.t. x + 2y == 4
+        result = solve_lp(lp([1, 1], a_eq=[[1, 2]], b_eq=[4]))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == 2  # y = 2, x = 0
+
+    def test_infeasible(self):
+        # x >= 0 and x <= -1
+        result = solve_lp(lp([1], a_ub=[[1]], b_ub=[-1]))
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve_lp(lp([-1]))
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_exact_fractions(self):
+        # min -x s.t. 3x <= 1 -> x = 1/3
+        result = solve_lp(lp([-1], a_ub=[[3]], b_ub=[1]))
+        assert result.x == [Fraction(1, 3)]
+
+    def test_negative_rhs_row(self):
+        # -x <= -2 means x >= 2.
+        result = solve_lp(lp([1], a_ub=[[-1]], b_ub=[-2]))
+        assert result.objective == 2
+
+
+class TestBounds:
+    def test_upper_bound(self):
+        result = solve_lp(lp([-1], lower=[Fraction(0)], upper=[Fraction(5)]))
+        assert result.objective == -5
+
+    def test_shifted_lower_bound(self):
+        result = solve_lp(lp([1], lower=[Fraction(2)], upper=[None]))
+        assert result.x == [2]
+
+    def test_negative_lower_bound(self):
+        result = solve_lp(lp([1], lower=[Fraction(-3)], upper=[None]))
+        assert result.x == [-3]
+
+    def test_free_variable(self):
+        # min x s.t. x >= -7 expressed via inequality, variable free.
+        result = solve_lp(lp([1], a_ub=[[-1]], b_ub=[7],
+                             lower=[None], upper=[None]))
+        assert result.x == [-7]
+
+    def test_reflect_only_upper(self):
+        result = solve_lp(lp([-1], lower=[None], upper=[Fraction(4)]))
+        assert result.objective == -4
+
+    def test_bounds_make_infeasible(self):
+        result = solve_lp(lp([1], lower=[Fraction(3)], upper=[Fraction(2)]))
+        assert result.status is LPStatus.INFEASIBLE
+
+
+class TestValidation:
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            lp([1, 2], a_ub=[[1]], b_ub=[0])
+
+    def test_rhs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            lp([1], a_ub=[[1]], b_ub=[0, 1])
+
+    def test_bounds_length_mismatch(self):
+        with pytest.raises(ValueError):
+            lp([1, 2], lower=[Fraction(0)], upper=[None, None])
+
+
+class TestDegenerate:
+    def test_degenerate_no_cycle(self):
+        # Classic degenerate vertex; Bland's rule must terminate.
+        result = solve_lp(lp(
+            [-Fraction(3, 4), 150, -Fraction(1, 50), 6],
+            a_ub=[[Fraction(1, 4), -60, -Fraction(1, 25), 9],
+                  [Fraction(1, 2), -90, -Fraction(1, 50), 3],
+                  [0, 0, 1, 0]],
+            b_ub=[0, 0, 1],
+        ))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == -Fraction(1, 20)
+
+    def test_redundant_equalities(self):
+        result = solve_lp(lp([1, 1], a_eq=[[1, 1], [2, 2]], b_eq=[2, 4]))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == 2
+
+    def test_conflicting_equalities(self):
+        result = solve_lp(lp([1, 1], a_eq=[[1, 1], [1, 1]], b_eq=[2, 3]))
+        assert result.status is LPStatus.INFEASIBLE
+
+
+@given(
+    st.lists(st.integers(-4, 4), min_size=2, max_size=2),
+    st.lists(st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+             min_size=1, max_size=4),
+    st.lists(st.integers(0, 6), min_size=1, max_size=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_lp_optimum_is_feasible_and_no_better_vertex(obj, rows, rhs):
+    """Property: a reported optimum satisfies all constraints, and sampled
+    feasible grid points never beat it."""
+    k = min(len(rows), len(rhs))
+    problem = lp(obj, a_ub=rows[:k], b_ub=rhs[:k],
+                 lower=[Fraction(0)] * 2, upper=[Fraction(5)] * 2)
+    result = solve_lp(problem)
+    if any(r < 0 for r in rhs[:k]):
+        return  # origin may be infeasible; only the rhs>=0 case is asserted
+    assert result.status is LPStatus.OPTIMAL  # box-bounded with feasible origin
+    x = result.x
+    for row, b in zip(rows[:k], rhs[:k]):
+        assert sum(Fraction(a) * v for a, v in zip(row, x)) <= b
+    for gx in range(0, 6):
+        for gy in range(0, 6):
+            if all(row[0] * gx + row[1] * gy <= b
+                   for row, b in zip(rows[:k], rhs[:k])):
+                assert obj[0] * gx + obj[1] * gy >= result.objective

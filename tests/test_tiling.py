@@ -1,0 +1,105 @@
+"""Tests for band tiling and the tile-size autotuner."""
+
+import pytest
+
+from repro.codegen import generate_ast
+from repro.codegen.ast import Loop, render_ast, walk
+from repro.codegen.interp import check_semantics
+from repro.codegen.tiling import outermost_band_chain, tile_band
+from repro.ir import Kernel
+from repro.ir.examples import elementwise_chain, matmul
+from repro.pipeline.autotune import autotune_tile_sizes, compile_tiled
+from repro.schedule import InfluencedScheduler
+
+
+def compile_ast(kernel):
+    scheduler = InfluencedScheduler(kernel)
+    schedule = scheduler.schedule()
+    return schedule, generate_ast(kernel, schedule)
+
+
+class TestBandChain:
+    def test_matmul_band(self):
+        kernel = matmul(8)
+        schedule, ast = compile_ast(kernel)
+        chain = outermost_band_chain(ast, schedule, kernel.params)
+        assert len(chain) == 3  # the whole permutable band (i, j, k)
+
+    def test_chain_stops_at_band_break(self):
+        kernel = elementwise_chain(8, 2)
+        schedule, ast = compile_ast(kernel)
+        chain = outermost_band_chain(ast, schedule, kernel.params)
+        # i and j are one band; the final scalar dim is not a loop.
+        assert len(chain) == 2
+
+
+class TestTileBand:
+    def test_structure(self):
+        kernel = matmul(8)
+        schedule, ast = compile_ast(kernel)
+        assert tile_band(ast, schedule, kernel.params, (4, 4)) == 2
+        text = render_ast(ast)
+        assert "t0T" in text and "t0p" in text
+        assert "t1T" in text and "t1p" in text
+
+    def test_semantics_preserved(self):
+        kernel = matmul(6)
+        schedule, ast = compile_ast(kernel)
+        tile_band(ast, schedule, kernel.params, (4, 2))
+        assert check_semantics(kernel, ast) == []
+
+    def test_ragged_extent_guarded(self):
+        kernel = matmul(7)  # 7 % 4 != 0
+        schedule, ast = compile_ast(kernel)
+        tile_band(ast, schedule, kernel.params, (4, 4))
+        assert check_semantics(kernel, ast) == []
+        assert "if (" in render_ast(ast)
+
+    def test_prefix_stops_at_small_size(self):
+        kernel = matmul(8)
+        schedule, ast = compile_ast(kernel)
+        assert tile_band(ast, schedule, kernel.params, (4, 1, 4)) == 1
+
+    def test_empty_sizes_noop(self):
+        kernel = matmul(8)
+        schedule, ast = compile_ast(kernel)
+        before = render_ast(ast)
+        assert tile_band(ast, schedule, kernel.params, ()) == 0
+        assert render_ast(ast) == before
+
+    def test_point_loops_keep_parallel_flags(self):
+        kernel = elementwise_chain(8, 1)
+        schedule, ast = compile_ast(kernel)
+        tile_band(ast, schedule, kernel.params, (4, 4))
+        points = [n for n in walk(ast)
+                  if isinstance(n, Loop) and n.var.endswith("p")]
+        assert points and all(p.parallel for p in points)
+
+    def test_multi_statement_fused_tiling(self):
+        kernel = elementwise_chain(8, 3)
+        schedule, ast = compile_ast(kernel)
+        assert tile_band(ast, schedule, kernel.params, (4, 4)) == 2
+        assert check_semantics(kernel, ast) == []
+
+
+class TestCompileTiled:
+    def test_mapping_after_tiling(self):
+        kernel = elementwise_chain(64, 1)
+        mapped, tiled = compile_tiled(kernel, (16, 16), max_threads=16)
+        assert tiled == 2
+        assert mapped.block  # threads mapped from the tiled structure
+        assert check_semantics(kernel, mapped.ast) == []
+
+    def test_autotune_returns_best(self):
+        kernel = Kernel("tr", params={"M": 64, "N": 64})
+        kernel.add_tensor("A", (64, 64))
+        kernel.add_tensor("B", (64, 64))
+        kernel.add_statement("S", [("i", 0, "M"), ("j", 0, "N")],
+                             writes=[("B", ["j", "i"])],
+                             reads=[("A", ["i", "j"])])
+        result = autotune_tile_sizes(kernel,
+                                     candidates=((), (8, 8), (16, 16)),
+                                     sample_blocks=4)
+        assert len(result.candidates) == 3
+        assert result.best.time == min(c.time for c in result.candidates)
+        assert result.speedup_over_untiled() >= 1.0

@@ -1,0 +1,92 @@
+"""Focused tests for the backend vectorization pass."""
+
+import pytest
+
+from repro.codegen import generate_ast, vectorize
+from repro.codegen.ast import Loop, walk
+from repro.codegen.interp import check_semantics
+from repro.codegen.vectorize import _unguarded_calls
+from repro.influence import build_influence_tree
+from repro.ir import Kernel
+from repro.ir.types import FLOAT64, INT8
+from repro.schedule import InfluencedScheduler
+
+
+def influenced_ast(kernel, enable=True):
+    scheduler = InfluencedScheduler(kernel)
+    tree = build_influence_tree(kernel)
+    schedule = scheduler.schedule(tree)
+    ast = generate_ast(kernel, schedule)
+    return vectorize(ast, kernel, schedule, scheduler.relations,
+                     enable=enable), schedule
+
+
+def copy_kernel(cols=16, dtype=None, carried=False):
+    kwargs = {} if dtype is None else {"dtype": dtype}
+    kernel = Kernel("v", params={"M": 8, "N": cols})
+    kernel.add_tensor("A", (8, cols), *([] if dtype is None else [dtype]))
+    kernel.add_tensor("B", (8, cols), *([] if dtype is None else [dtype]))
+    reads = [("A", ["i", "j - 1" if carried else "j"])]
+    if carried:
+        reads = [("B", ["i", "j - 1"])]
+    kernel.add_statement("S", [("i", 0, "M"),
+                               ("j", 1 if carried else 0, "N")],
+                         writes=[("B", ["i", "j"])], reads=reads)
+    return kernel
+
+
+class TestStripMining:
+    def test_vector_loop_created(self):
+        ast, _ = influenced_ast(copy_kernel(16))
+        vec_loops = [n for n in walk(ast) if isinstance(n, Loop) and n.vector]
+        assert len(vec_loops) == 1
+        assert vec_loops[0].vector_width == 4
+        # The outer strip exists and is parallel (mappable).
+        outer = [n for n in walk(ast) if isinstance(n, Loop)
+                 and n.var == vec_loops[0].var[:-1] + "o"]
+        assert outer and outer[0].parallel
+
+    def test_strip_semantics(self):
+        kernel = copy_kernel(8)
+        ast, _ = influenced_ast(kernel)
+        assert check_semantics(kernel, ast) == []
+
+    def test_disable_strips_marks(self):
+        ast, _ = influenced_ast(copy_kernel(16), enable=False)
+        assert not any(isinstance(n, Loop) and n.vector for n in walk(ast))
+
+
+class TestDemotion:
+    def test_indivisible_extent(self):
+        ast, _ = influenced_ast(copy_kernel(15))  # 15 % 4, 15 % 2 != 0
+        assert not any(isinstance(n, Loop) and n.vector for n in walk(ast))
+
+    def test_int8_no_vector_type(self):
+        # int8 has no 64/128-bit vector width in the paper's rule.
+        ast, _ = influenced_ast(copy_kernel(16, dtype=INT8))
+        assert not any(isinstance(n, Loop) and n.vector for n in walk(ast))
+
+    def test_float64_uses_width_two(self):
+        ast, _ = influenced_ast(copy_kernel(16, dtype=FLOAT64))
+        vec = [n for n in walk(ast) if isinstance(n, Loop) and n.vector]
+        assert vec and vec[0].vector_width == 2
+
+    def test_carried_dependence_demotes(self):
+        """B[i][j] = f(B[i][j-1]) carries a flow at j: grouping is illegal,
+        the pass must demote."""
+        kernel = copy_kernel(16, carried=True)
+        ast, _ = influenced_ast(kernel)
+        assert not any(isinstance(n, Loop) and n.vector for n in walk(ast))
+        assert check_semantics(kernel, ast) == []
+
+
+class TestUnguardedCalls:
+    def test_guard_subtree_skipped(self):
+        from repro.codegen.ast import Guard, Seq, StatementCall
+        kernel = copy_kernel(8)
+        stmt = kernel.statements[0]
+        inner = StatementCall(stmt, {})
+        guarded = Guard(conditions=[], body=Seq([inner]))
+        free = StatementCall(stmt, {})
+        calls = _unguarded_calls(Seq([guarded, free]))
+        assert calls == [free]
