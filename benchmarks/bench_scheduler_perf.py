@@ -55,3 +55,32 @@ def test_bench_dependence_analysis(benchmark):
     relations = benchmark.pedantic(lambda: compute_dependences(kernel),
                                    rounds=2, iterations=1)
     assert relations
+
+
+def test_bench_pipeline_passes_and_cache(benchmark):
+    """Full-pipeline compile cost with the pass manager: round 1 populates
+    the content-keyed schedule cache, round 2 rebuilds *equal* (but
+    distinct) kernels and must be served from it.  The artifact captures
+    the per-pass time breakdown and the cache hit-rate so the perf
+    trajectory of the pass-manager refactor shows up in BENCH_* runs."""
+    from repro.pipeline import AkgPipeline
+
+    pipeline = AkgPipeline(sample_blocks=2)
+
+    def run():
+        compiled = []
+        for case in CASES:
+            # Fresh kernel objects each round: only content equality can hit.
+            kernel = CASES[case]()
+            compiled.append(pipeline.compile(kernel, "infl"))
+        return compiled
+
+    compiled = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(c.n_launches >= 1 for c in compiled)
+    stats = pipeline.cache.stats()
+    assert stats["hits"] > 0, "second round must hit the content cache"
+    write_artifact(
+        "scheduler_perf_passes.txt",
+        pipeline.context.format_summary()
+        + f"\n  cache entries: {stats['entries']}, "
+          f"hit rate: {stats['hit_rate'] * 100:.1f}%")

@@ -57,6 +57,11 @@ def test_table2_artifact(benchmark, out_dir):
     write_artifact("table2.txt", text)
 
     # Shape assertions: the reproduction must preserve who wins and where.
+    # They are statistical, so they need a representative sample per
+    # network; smoke runs (e.g. CI with REPRO_TABLE2_LIMIT=1) only check
+    # that the pipeline ran end-to-end.
+    if limit is not None and limit < 6:
+        return
     by_name = {r.network: r for r in results}
     assert by_name["ResNet50"].speedup("infl") > 1.3
     assert by_name["ResNet101"].speedup("infl") > 1.3

@@ -13,6 +13,7 @@ The kernel file format is documented in :mod:`repro.ir.kparser`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -25,7 +26,12 @@ from repro.eval import (
 from repro.eval.tables import geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
-from repro.pipeline import AkgPipeline, VARIANTS
+from repro.pipeline import (
+    AkgPipeline,
+    VARIANTS,
+    format_pass_summary,
+    merge_metric_dicts,
+)
 from repro.workloads import NETWORKS
 
 
@@ -83,7 +89,9 @@ def _cmd_table2(args) -> int:
     config = EvaluationConfig(
         seed=args.seed,
         limit_per_network=args.limit if args.limit > 0 else None,
-        sample_blocks=args.sample_blocks)
+        sample_blocks=args.sample_blocks,
+        jobs=max(args.jobs, 1),
+        trace=bool(args.trace))
     results = []
     for network in networks:
         print(f"evaluating {network}...", file=sys.stderr)
@@ -91,6 +99,14 @@ def _cmd_table2(args) -> int:
     print(format_table2(results))
     print(f"\ngeomean speedup (infl over isl): "
           f"{geomean_speedup(results):.2f}x")
+    merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
+    if merged.get("passes"):
+        print()
+        print(format_pass_summary(merged))
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            json.dump(merged.get("events", []), handle, indent=2)
+        print(f"pass trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -127,6 +143,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset (default: all)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sample-blocks", type=int, default=8)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for suite evaluation (1 = serial)")
+    p.add_argument("--trace", default="", metavar="FILE",
+                   help="write the structured pass-trace log as JSON")
     p.set_defaults(func=_cmd_table2)
     return parser
 

@@ -15,6 +15,7 @@ from typing import Iterable, Mapping
 
 from repro.eval.runner import NetworkResult
 from repro.eval.tables import geomean_speedup, table2_row
+from repro.pipeline.passes import format_pass_summary, merge_metric_dicts
 
 CSV_FIELDS = [
     "network", "operator", "op_class", "influenced", "vectorized",
@@ -69,6 +70,12 @@ def markdown_summary(results: Iterable[NetworkResult]) -> str:
     lines.append("")
     lines.append(f"geomean influenced speedup: "
                  f"{geomean_speedup(results):.2f}x")
+    merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
+    if merged.get("passes"):
+        lines.append("")
+        lines.append("```")
+        lines.append(format_pass_summary(merged))
+        lines.append("```")
     return "\n".join(lines)
 
 
@@ -78,6 +85,8 @@ def json_dump(results: Mapping[str, NetworkResult]) -> str:
     for name, result in results.items():
         payload[name] = {
             "row": table2_row(result),
+            "pass_metrics": {k: v for k, v in result.metrics.items()
+                             if k != "events"},
             "operators": [
                 {
                     "name": op.name,

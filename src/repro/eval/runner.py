@@ -9,10 +9,18 @@ For every operator we compile/measure ``isl``, ``tvm``, ``novec`` and
 * whether the influenced result uses explicit vector types (``vec``).
 
 These are the quantities Table II aggregates.
+
+Suites can be evaluated in parallel (``jobs > 1``): operators are farmed
+out to a :class:`~concurrent.futures.ProcessPoolExecutor`, each worker
+regenerating its kernels deterministically from ``(network, seed, limit)``
+so no IR crosses process boundaries, and the per-worker pass metrics are
+merged into one report.  The compilation model is deterministic, so the
+parallel path produces bitwise-identical results to the serial one.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -20,6 +28,7 @@ from repro.gpu.arch import GpuArch, V100
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
 from repro.pipeline.akg import AkgPipeline, VARIANTS
+from repro.pipeline.passes import PassContext, merge_metric_dicts
 from repro.workloads.generator import generate_network_suite
 from repro.workloads.networks import NETWORKS
 
@@ -34,6 +43,8 @@ class EvaluationConfig:
     max_threads: int = 256
     arch: GpuArch = V100
     weights: CostWeights = CostWeights()
+    jobs: int = 1          # worker processes; 1 = serial (deterministic tests)
+    trace: bool = False    # record structured pass-trace events
 
 
 @dataclass
@@ -49,7 +60,10 @@ class OperatorResult:
     scheduler_stats: dict = field(default_factory=dict)
 
     def speedup(self, variant: str) -> float:
-        return self.times["isl"] / self.times[variant]
+        other = self.times[variant]
+        if not other:
+            return float("nan")
+        return self.times["isl"] / other
 
 
 @dataclass
@@ -58,6 +72,7 @@ class NetworkResult:
 
     network: str
     operators: list[OperatorResult]
+    metrics: dict = field(default_factory=dict)  # merged pass metrics
 
     # -- Table II aggregates -------------------------------------------------
 
@@ -82,6 +97,12 @@ class NetworkResult:
         base = self.total_time("isl", influenced_only)
         other = self.total_time(variant, influenced_only)
         return base / other if other else float("nan")
+
+
+def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
+    return AkgPipeline(arch=config.arch, max_threads=config.max_threads,
+                       sample_blocks=config.sample_blocks,
+                       weights=config.weights, trace=config.trace)
 
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
@@ -112,33 +133,126 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     )
 
 
+# -- parallel workers --------------------------------------------------------
+
+# Per-worker-process state: the suites are deterministic functions of
+# (network, seed, limit), and one long-lived pipeline keeps the schedule
+# cache warm across the operators a worker picks up.
+_WORKER_SUITES: dict[tuple, list] = {}
+_WORKER_PIPELINE: list = []
+
+
+def _worker_suite(network: str, seed: int, limit: Optional[int]) -> list:
+    key = (network, seed, limit)
+    if key not in _WORKER_SUITES:
+        _WORKER_SUITES[key] = generate_network_suite(network, seed=seed,
+                                                     limit=limit)
+    return _WORKER_SUITES[key]
+
+
+def _evaluate_index(network: str, config: EvaluationConfig,
+                    index: int) -> tuple:
+    """Worker entry point: evaluate operator ``index`` of one network.
+
+    Returns ``(index, OperatorResult, pass-metrics dict)``; the context is
+    reset per operator so the caller can merge snapshots without
+    double-counting."""
+    if not _WORKER_PIPELINE:
+        _WORKER_PIPELINE.append(_make_pipeline(config))
+    pipeline = _WORKER_PIPELINE[0]
+    pipeline.session.context = PassContext(trace=config.trace)
+    op_class, kernel = _worker_suite(network, config.seed,
+                                     config.limit_per_network)[index]
+    result = evaluate_operator(pipeline, kernel.name, op_class, kernel)
+    return index, result, pipeline.context.as_dict()
+
+
+def _evaluate_parallel(tasks: list[tuple[str, int]],
+                       config: EvaluationConfig, jobs: int,
+                       progress: Optional[Callable[[str], None]]
+                       ) -> dict[str, tuple[list, list]]:
+    """Run ``(network, index)`` tasks over a process pool.
+
+    Returns ``{network: (operator results in suite order, metric dicts)}``.
+    """
+    per_network: dict[str, tuple[list, list]] = {}
+    counts: dict[str, int] = {}
+    for network, _ in tasks:
+        counts[network] = counts.get(network, 0) + 1
+    for network, count in counts.items():
+        per_network[network] = ([None] * count, [])
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(_evaluate_index, network, config, index):
+                   network for network, index in tasks}
+        for future in as_completed(futures):
+            network = futures[future]
+            index, result, metrics = future.result()
+            results, metric_dicts = per_network[network]
+            results[index] = result
+            metric_dicts.append(metrics)
+            if progress:
+                progress(f"{network}: {result.name}")
+    return per_network
+
+
+# -- entry points ------------------------------------------------------------
+
+
 def evaluate_network(network: str,
                      config: Optional[EvaluationConfig] = None,
-                     progress: Optional[Callable[[str], None]] = None
-                     ) -> NetworkResult:
-    """Evaluate one Table I network's fused-operator suite."""
+                     progress: Optional[Callable[[str], None]] = None,
+                     jobs: Optional[int] = None) -> NetworkResult:
+    """Evaluate one Table I network's fused-operator suite.
+
+    ``jobs`` overrides ``config.jobs``; with more than one job the suite is
+    evaluated concurrently with results identical to the serial path.
+    """
     config = config or EvaluationConfig()
-    pipeline = AkgPipeline(arch=config.arch, max_threads=config.max_threads,
-                           sample_blocks=config.sample_blocks,
-                           weights=config.weights)
+    n_jobs = config.jobs if jobs is None else jobs
     suite = generate_network_suite(network, seed=config.seed,
                                    limit=config.limit_per_network)
+    if n_jobs and n_jobs > 1:
+        tasks = [(network, index) for index in range(len(suite))]
+        per_network = _evaluate_parallel(tasks, config, n_jobs, progress)
+        results, metric_dicts = per_network[network]
+        return NetworkResult(network=network, operators=results,
+                             metrics=merge_metric_dicts(metric_dicts))
+    pipeline = _make_pipeline(config)
     results = []
     for op_class, kernel in suite:
         if progress:
             progress(f"{network}: {kernel.name}")
         results.append(evaluate_operator(pipeline, kernel.name, op_class,
                                          kernel))
-    return NetworkResult(network=network, operators=results)
+    return NetworkResult(network=network, operators=results,
+                         metrics=pipeline.context.as_dict())
 
 
 def evaluate_all(config: Optional[EvaluationConfig] = None,
                  networks: Optional[list[str]] = None,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> dict[str, NetworkResult]:
-    """Evaluate every network (the full Table II)."""
+                 progress: Optional[Callable[[str], None]] = None,
+                 jobs: Optional[int] = None) -> dict[str, NetworkResult]:
+    """Evaluate every network (the full Table II).
+
+    With ``jobs > 1`` all operators of all requested networks share one
+    process pool, so small suites do not serialize behind large ones.
+    """
     config = config or EvaluationConfig()
+    n_jobs = config.jobs if jobs is None else jobs
+    names = list(networks or NETWORKS)
+    if n_jobs and n_jobs > 1:
+        tasks = []
+        for network in names:
+            suite = generate_network_suite(network, seed=config.seed,
+                                           limit=config.limit_per_network)
+            tasks.extend((network, index) for index in range(len(suite)))
+        per_network = _evaluate_parallel(tasks, config, n_jobs, progress)
+        return {network: NetworkResult(
+                    network=network,
+                    operators=per_network[network][0],
+                    metrics=merge_metric_dicts(per_network[network][1]))
+                for network in names}
     out = {}
-    for network in (networks or list(NETWORKS)):
-        out[network] = evaluate_network(network, config, progress)
+    for network in names:
+        out[network] = evaluate_network(network, config, progress, jobs=1)
     return out

@@ -17,5 +17,25 @@ the paper's four evaluation configurations:
 """
 
 from repro.pipeline.akg import AkgPipeline, CompiledOperator, OperatorTiming, VARIANTS
+from repro.pipeline.cache import ScheduleCache, kernel_signature
+from repro.pipeline.passes import (
+    CompilationSession,
+    PassContext,
+    format_pass_summary,
+    merge_metric_dicts,
+    variant_passes,
+)
 
-__all__ = ["AkgPipeline", "CompiledOperator", "OperatorTiming", "VARIANTS"]
+__all__ = [
+    "AkgPipeline",
+    "CompiledOperator",
+    "OperatorTiming",
+    "VARIANTS",
+    "ScheduleCache",
+    "kernel_signature",
+    "CompilationSession",
+    "PassContext",
+    "format_pass_summary",
+    "merge_metric_dicts",
+    "variant_passes",
+]

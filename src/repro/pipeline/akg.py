@@ -1,27 +1,31 @@
-"""The AKG-like compilation pipeline and its four evaluation variants."""
+"""The AKG-like compilation pipeline and its four evaluation variants.
+
+:class:`AkgPipeline` is a thin driver: each variant maps to a clustering
+decision (how statements split into kernel launches) plus a pass list from
+:func:`~repro.pipeline.passes.variant_passes`; the actual work happens in
+a shared :class:`~repro.pipeline.passes.CompilationSession`, which carries
+the per-pass instrumentation and the content-keyed schedule cache.
+"""
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.codegen.cuda import MappedKernel, map_to_gpu
-from repro.codegen.generate import generate_ast
-from repro.codegen.vectorize import vectorize
+from repro.codegen.cuda import MappedKernel
 from repro.codegen.ast import Loop, walk
-from repro.deps.analysis import compute_dependences
 from repro.gpu.arch import GpuArch, V100
 from repro.gpu.simulator import KernelProfile, simulate_kernel
-from repro.influence.builder import build_influence_tree
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
-from repro.schedule.scheduler import (
-    InfluencedScheduler,
-    SchedulerOptions,
-    SchedulerStats,
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.passes import (
+    CompilationSession,
+    PassContext,
+    variant_passes,
 )
+from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
 
 VARIANTS = ("isl", "tvm", "novec", "infl")
 
@@ -116,16 +120,27 @@ class AkgPipeline:
     def __init__(self, arch: GpuArch = V100, max_threads: int = 256,
                  sample_blocks: int = 8,
                  weights: CostWeights = CostWeights(),
-                 scheduler_options: Optional[SchedulerOptions] = None):
+                 scheduler_options: Optional[SchedulerOptions] = None,
+                 cache: Optional[ScheduleCache] = None,
+                 enable_cache: bool = True,
+                 trace: bool = False):
         self.arch = arch
         self.max_threads = max_threads
         self.sample_blocks = sample_blocks
         self.weights = weights
         self.scheduler_options = scheduler_options or SchedulerOptions()
-        # novec/infl share scheduling; weak keys so entries die with their
-        # kernels (an id()-keyed dict would collide after GC reuses ids).
-        self._influenced_cache: "weakref.WeakKeyDictionary[Kernel, tuple]" = \
-            weakref.WeakKeyDictionary()
+        self.cache = cache if cache is not None \
+            else (ScheduleCache() if enable_cache else None)
+        self.session = CompilationSession(options=self.scheduler_options,
+                                          weights=weights,
+                                          max_threads=max_threads,
+                                          cache=self.cache,
+                                          trace=trace)
+
+    @property
+    def context(self) -> PassContext:
+        """The session's accumulated per-pass metrics."""
+        return self.session.context
 
     # -- compilation --------------------------------------------------------
 
@@ -133,57 +148,30 @@ class AkgPipeline:
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
         if variant == "isl":
-            return self._compile_clustered(kernel, _adjacent_clusters(kernel),
-                                           variant="isl", influence=False,
-                                           enable_vec=False)
-        if variant == "tvm":
+            clusters = _adjacent_clusters(kernel)
+            influence, enable_vec = False, False
+        elif variant == "tvm":
             clusters = [[s] for s in kernel.statements]
-            return self._compile_clustered(kernel, clusters, variant="tvm",
-                                           influence=True, enable_vec=False)
-        return self._compile_influenced(kernel, enable_vec=(variant == "infl"),
-                                        variant=variant)
+            influence, enable_vec = True, False
+        else:  # novec / infl: whole-kernel influenced compilation.
+            clusters = None
+            influence, enable_vec = True, variant == "infl"
+        passes = variant_passes(influence=influence, enable_vec=enable_vec)
 
-    def _compile_clustered(self, kernel: Kernel,
-                           clusters: list[list[Statement]], variant: str,
-                           influence: bool,
-                           enable_vec: bool) -> CompiledOperator:
+        if clusters is None:
+            state = self.session.run(kernel, passes, variant=variant)
+            return CompiledOperator(kernel=kernel, variant=variant,
+                                    launches=[state.mapped],
+                                    scheduler_stats=[state.scheduler_stats])
         launches = []
         stats = []
         for index, cluster in enumerate(clusters):
             sub = _sub_kernel(kernel, cluster, f"_k{index}")
-            relations = compute_dependences(sub)
-            scheduler = InfluencedScheduler(sub, relations=relations,
-                                            options=self.scheduler_options)
-            tree = build_influence_tree(sub, weights=self.weights) \
-                if influence else None
-            schedule = scheduler.schedule(tree)
-            stats.append(scheduler.stats)
-            ast = generate_ast(sub, schedule)
-            ast = vectorize(ast, sub, schedule, relations, enable=enable_vec)
-            launches.append(map_to_gpu(sub, ast, schedule,
-                                       max_threads=self.max_threads))
+            state = self.session.run(sub, passes, variant=variant)
+            launches.append(state.mapped)
+            stats.append(state.scheduler_stats)
         return CompiledOperator(kernel=kernel, variant=variant,
                                 launches=launches, scheduler_stats=stats)
-
-    def _compile_influenced(self, kernel: Kernel, enable_vec: bool,
-                            variant: str) -> CompiledOperator:
-        # novec and infl share scheduling; cache the schedule per kernel.
-        cached = self._influenced_cache.get(kernel)
-        if cached is None:
-            relations = compute_dependences(kernel)
-            scheduler = InfluencedScheduler(kernel, relations=relations,
-                                            options=self.scheduler_options)
-            tree = build_influence_tree(kernel, weights=self.weights)
-            schedule = scheduler.schedule(tree)
-            cached = (relations, schedule, scheduler.stats)
-            self._influenced_cache[kernel] = cached
-        relations, schedule, stats = cached
-        ast = generate_ast(kernel, schedule)
-        ast = vectorize(ast, kernel, schedule, relations, enable=enable_vec)
-        mapped = map_to_gpu(kernel, ast, schedule,
-                            max_threads=self.max_threads)
-        return CompiledOperator(kernel=kernel, variant=variant,
-                                launches=[mapped], scheduler_stats=[stats])
 
     # -- measurement -----------------------------------------------------------
 

@@ -8,20 +8,19 @@ on the execution model, and keeps the fastest.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.codegen.cuda import map_to_gpu
-from repro.codegen.generate import generate_ast
-from repro.codegen.tiling import tile_band
-from repro.codegen.vectorize import vectorize
-from repro.deps.analysis import compute_dependences
 from repro.gpu.arch import GpuArch, V100
 from repro.gpu.simulator import simulate_kernel
-from repro.influence.builder import build_influence_tree
 from repro.ir.kernel import Kernel
-from repro.schedule.scheduler import InfluencedScheduler
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.passes import (
+    CompilationSession,
+    GpuMappingPass,
+    TilingPass,
+    variant_passes,
+)
 
 DEFAULT_CANDIDATES: tuple[tuple[int, ...], ...] = (
     (),            # untiled baseline
@@ -58,21 +57,26 @@ class AutotuneResult:
 
 def compile_tiled(kernel: Kernel, tile_sizes: Sequence[int],
                   influenced: bool = False, enable_vec: bool = False,
-                  max_threads: int = 256):
+                  max_threads: int = 256,
+                  session: Optional[CompilationSession] = None):
     """Compile one kernel with band tiling applied before mapping.
+
+    A :class:`TilingPass` is spliced into the variant pass list just before
+    GPU mapping.  Pass a shared ``session`` (as the autotuner does) so the
+    content-keyed cache reuses one schedule across all tiling candidates —
+    only codegen/tile/vectorize/map rerun per candidate.
 
     Returns ``(mapped_kernel, tiled_loop_count)``.
     """
-    relations = compute_dependences(kernel)
-    scheduler = InfluencedScheduler(kernel, relations=relations)
-    tree = build_influence_tree(kernel) if influenced else None
-    schedule = scheduler.schedule(tree)
-    ast = generate_ast(kernel, schedule)
-    ast = vectorize(ast, kernel, schedule, relations, enable=enable_vec)
-    tiled = tile_band(ast, schedule, kernel.params, tile_sizes) \
-        if tile_sizes else 0
-    mapped = map_to_gpu(kernel, ast, schedule, max_threads=max_threads)
-    return mapped, tiled
+    if session is None:
+        session = CompilationSession(max_threads=max_threads,
+                                     cache=ScheduleCache())
+    passes = list(variant_passes(influence=influenced, enable_vec=enable_vec))
+    mapping_index = next(i for i, p in enumerate(passes)
+                         if isinstance(p, GpuMappingPass))
+    passes.insert(mapping_index, TilingPass(tile_sizes))
+    state = session.run(kernel, tuple(passes), variant="tiled")
+    return state.mapped, state.tiled_loops
 
 
 def autotune_tile_sizes(kernel: Kernel,
@@ -83,11 +87,14 @@ def autotune_tile_sizes(kernel: Kernel,
                         sample_blocks: int = 8,
                         max_threads: int = 256) -> AutotuneResult:
     """Measure every tiling candidate and return the fastest."""
+    session = CompilationSession(max_threads=max_threads,
+                                 cache=ScheduleCache())
     results: list[TileCandidateResult] = []
     for sizes in candidates:
         mapped, tiled = compile_tiled(kernel, sizes, influenced=influenced,
                                       enable_vec=enable_vec,
-                                      max_threads=max_threads)
+                                      max_threads=max_threads,
+                                      session=session)
         profile = simulate_kernel(mapped, arch=arch,
                                   sample_blocks=sample_blocks)
         results.append(TileCandidateResult(

@@ -1,0 +1,140 @@
+"""Content-keyed schedule cache.
+
+The pipeline used to memoize schedules per :class:`~repro.ir.kernel.Kernel`
+*object* (a ``weakref`` identity cache), so a regenerated-but-identical
+kernel — the common case for repeated suite runs, the ``novec``/``infl``
+pair, and the tile autotuner's candidates — recompiled from scratch.  This
+module replaces that with a cache keyed on kernel *content*: a canonical
+signature of the IR (parameters, statement structure, iteration domains,
+accesses with tensor shapes and dtypes) combined with the variant-relevant
+compilation inputs (influence on/off, scheduler options, cost weights).
+
+The cached entry is the expensive schedule-producing prefix of the pass
+list: dependence relations, the finished :class:`Schedule`, and the
+scheduler's counters.  Schedules index their rows by statement *name*, and
+statement names/structure are part of the key, so an entry built from one
+kernel object is valid for every content-equal kernel.  Kernel names are
+deliberately excluded from the key (generated operators carry unique
+names; distributed baselines suffix ``_k0`` per cluster).
+
+Constraint order inside iteration domains is kept (not sorted away): the
+ILP's variable/constraint layout follows it, and two kernels must only
+share an entry when the whole solve is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+from typing import Optional
+
+from repro.influence.scenarios import CostWeights
+from repro.ir.access import Access
+from repro.ir.kernel import Kernel
+from repro.ir.statement import Statement
+from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
+from repro.sets.polyhedron import Polyhedron
+from repro.solver.problem import LinExpr
+
+
+def _expr_signature(expr: LinExpr) -> tuple:
+    return (tuple(sorted(expr.coeffs.items())), expr.const)
+
+
+def _domain_signature(domain: Polyhedron) -> tuple:
+    constraints = tuple((c.sense, _expr_signature(c.expr))
+                        for c in domain.constraints)
+    return (tuple(domain.dims), constraints)
+
+
+def _access_signature(access: Access) -> tuple:
+    tensor = access.tensor
+    return (tensor.name, tensor.shape, tensor.dtype, access.is_write,
+            tuple(_expr_signature(s) for s in access.subscripts))
+
+
+def _statement_signature(statement: Statement) -> tuple:
+    return (statement.name,
+            tuple(statement.iterators),
+            _domain_signature(statement.domain),
+            tuple(statement.betas),
+            statement.flops,
+            tuple(_access_signature(a) for a in statement.writes),
+            tuple(_access_signature(a) for a in statement.reads))
+
+
+def kernel_signature(kernel: Kernel) -> tuple:
+    """Canonical, hashable content signature of a kernel.
+
+    Excludes the kernel name; preserves parameter and statement order
+    (both feed the scheduler's variable ordering).  Tensors enter through
+    the accesses that reference them, so unused declarations — e.g. the
+    parent tensors shared into a distributed sub-kernel — do not split
+    otherwise-equal entries.
+    """
+    return (tuple(kernel.params.items()),
+            tuple(_statement_signature(s) for s in kernel.statements))
+
+
+@dataclass
+class ScheduleCacheEntry:
+    """The cached schedule-producing prefix of a compilation."""
+
+    relations: list
+    schedule: object
+    stats: Optional[SchedulerStats]
+
+
+class ScheduleCache:
+    """LRU cache of schedule-prefix results, keyed by kernel content."""
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, ScheduleCacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, kernel: Kernel, *, influence: bool,
+                options: SchedulerOptions,
+                weights: CostWeights) -> tuple:
+        """The full cache key: content signature + compilation inputs.
+
+        ``weights`` only shape the influence tree, but they stay in the key
+        unconditionally — one key recipe, no influence-dependent holes."""
+        return (kernel_signature(kernel), bool(influence),
+                astuple(options), astuple(weights))
+
+    def lookup(self, key: tuple) -> Optional[ScheduleCacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, *, relations, schedule,
+              stats: Optional[SchedulerStats] = None) -> None:
+        self._entries[key] = ScheduleCacheEntry(relations=relations,
+                                                schedule=schedule,
+                                                stats=stats)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "hit_rate": self.hit_rate}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

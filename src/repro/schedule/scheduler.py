@@ -22,7 +22,7 @@ reruns without influence constraints — its output is then that of the plain
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
@@ -79,6 +79,11 @@ class SchedulerStats:
     influence_nodes_applied: int = 0
     influence_abandoned: bool = False
     progression_drops: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain mapping, ready for pass-context aggregation
+        (``influence_abandoned`` becomes a 0/1 activation count)."""
+        return {name: int(value) for name, value in asdict(self).items()}
 
 
 class InfluencedScheduler:

@@ -1,0 +1,292 @@
+"""Tests for the pass-manager compilation sessions and the content cache.
+
+The regression class guards the refactor itself: the pass-manager pipeline
+must produce exactly the compiled signatures (and modelled times) of the
+former inline stage chain for all four variants on a fixed-seed suite.
+"""
+
+import math
+
+import pytest
+
+from repro.codegen.cuda import map_to_gpu
+from repro.codegen.generate import generate_ast
+from repro.codegen.vectorize import vectorize
+from repro.deps.analysis import compute_dependences
+from repro.influence.builder import build_influence_tree
+from repro.influence.scenarios import CostWeights
+from repro.ir.kernel import Kernel
+from repro.pipeline import (
+    AkgPipeline,
+    CompilationSession,
+    ScheduleCache,
+    VARIANTS,
+    kernel_signature,
+    variant_passes,
+)
+from repro.pipeline.akg import CompiledOperator, _adjacent_clusters, _sub_kernel
+from repro.pipeline.passes import (
+    InfluenceTreePass,
+    PassContext,
+    format_pass_summary,
+    merge_metric_dicts,
+)
+from repro.eval.runner import OperatorResult
+from repro.schedule.scheduler import InfluencedScheduler, SchedulerOptions
+from repro.workloads import generate_network_suite, operators
+
+
+def legacy_compile(kernel, variant, weights=CostWeights(), max_threads=256):
+    """The pre-refactor inline compilation chain (no caching, no passes)."""
+    options = SchedulerOptions()
+
+    def stages(sub, influence, enable_vec):
+        relations = compute_dependences(sub)
+        scheduler = InfluencedScheduler(sub, relations=relations,
+                                        options=options)
+        tree = build_influence_tree(sub, weights=weights) if influence else None
+        schedule = scheduler.schedule(tree)
+        ast = generate_ast(sub, schedule)
+        ast = vectorize(ast, sub, schedule, relations, enable=enable_vec)
+        return map_to_gpu(sub, ast, schedule, max_threads=max_threads)
+
+    if variant == "isl":
+        clusters, influence, enable_vec = _adjacent_clusters(kernel), False, False
+    elif variant == "tvm":
+        clusters = [[s] for s in kernel.statements]
+        influence, enable_vec = True, False
+    else:
+        launch = stages(kernel, True, variant == "infl")
+        return CompiledOperator(kernel=kernel, variant=variant,
+                                launches=[launch])
+    launches = [stages(_sub_kernel(kernel, cluster, f"_k{i}"), influence,
+                       enable_vec)
+                for i, cluster in enumerate(clusters)]
+    return CompiledOperator(kernel=kernel, variant=variant, launches=launches)
+
+
+class TestRegression:
+    """Pass-manager output == legacy inline output (fixed seed)."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_signatures_match_legacy(self, variant):
+        pipeline = AkgPipeline(sample_blocks=2)
+        suite = generate_network_suite("LSTM", seed=0, limit=2)
+        suite.append(("reduce_producer",
+                      operators.reduce_producer_op("fixed_case", rows=64,
+                                                   red=8)))
+        for _, kernel in suite:
+            ours = pipeline.compile(kernel, variant)
+            legacy = legacy_compile(kernel, variant)
+            assert ours.signature() == legacy.signature()
+            assert ours.n_launches == legacy.n_launches
+            assert pipeline.measure(ours).time == \
+                pipeline.measure(legacy).time
+
+    def test_cached_recompile_matches_legacy(self):
+        """Cache-served schedules still produce the legacy signatures."""
+        pipeline = AkgPipeline(sample_blocks=2)
+        k1 = operators.layout_conversion_op("conv_one", 2, 16, 8, 8)
+        k2 = operators.layout_conversion_op("conv_two", 2, 16, 8, 8)
+        pipeline.compile(k1, "infl")
+        hits_before = pipeline.cache.hits
+        ours = pipeline.compile(k2, "infl")
+        assert pipeline.cache.hits > hits_before
+        assert ours.signature() == legacy_compile(k2, "infl").signature()
+
+
+class TestPassManager:
+    def test_variant_pass_lists(self):
+        isl = variant_passes(influence=False, enable_vec=False)
+        infl = variant_passes(influence=True, enable_vec=True)
+        assert not any(isinstance(p, InfluenceTreePass) for p in isl)
+        assert any(isinstance(p, InfluenceTreePass) for p in infl)
+        assert [p.name for p in infl] == ["deps", "influence-tree",
+                                          "schedule", "codegen",
+                                          "vectorize", "gpu-map"]
+
+    def test_context_records_all_passes(self):
+        pipeline = AkgPipeline(sample_blocks=2)
+        pipeline.compile(operators.reduce_producer_op("ctx_k", rows=64,
+                                                      red=8), "infl")
+        ctx = pipeline.context
+        for name in ("deps", "influence-tree", "schedule", "codegen",
+                     "vectorize", "gpu-map"):
+            assert ctx.pass_calls[name] >= 1
+            assert ctx.pass_seconds[name] >= 0.0
+        assert ctx.counters["scheduler.ilp_solves"] > 0
+
+    def test_session_runs_standalone(self):
+        session = CompilationSession(cache=ScheduleCache())
+        kernel = operators.elementwise_chain_op("standalone", rows=16,
+                                                cols=8, length=1)
+        state = session.run(kernel,
+                            variant_passes(influence=True, enable_vec=True),
+                            variant="infl")
+        assert state.mapped is not None
+        assert state.schedule.is_complete()
+        assert state.scheduler_stats.dimensions_built > 0
+
+    def test_trace_events(self):
+        pipeline = AkgPipeline(sample_blocks=2, trace=True)
+        pipeline.compile(operators.elementwise_chain_op("traced", rows=16,
+                                                        cols=8, length=1),
+                         "novec")
+        events = pipeline.context.events
+        assert any(e["event"] == "pass" and e["pass"] == "schedule"
+                   for e in events)
+        assert all("seconds" in e for e in events if e["event"] == "pass")
+
+    def test_metrics_merge_roundtrip(self):
+        a = PassContext()
+        with a.timed("schedule"):
+            pass
+        a.count("cache.hits", 2)
+        b = PassContext()
+        with b.timed("schedule"):
+            pass
+        b.count("cache.misses", 3)
+        merged = merge_metric_dicts([a.as_dict(), b.as_dict()])
+        assert merged["passes"]["schedule"]["calls"] == 2
+        assert merged["counters"] == {"cache.hits": 2, "cache.misses": 3}
+        summary = format_pass_summary(merged)
+        assert "schedule" in summary
+        assert "2 hits / 3 misses" in summary
+
+
+class TestScheduleCache:
+    def test_equal_kernels_hit(self):
+        """Two structurally equal but distinct Kernel objects share one
+        cache entry; the schedule is reused, not recomputed."""
+        pipeline = AkgPipeline(sample_blocks=2)
+        k1 = operators.reduce_producer_op("cache_one", rows=64, red=8)
+        k2 = operators.reduce_producer_op("cache_two", rows=64, red=8)
+        c1 = pipeline.compile(k1, "infl")
+        hits_before = pipeline.cache.hits
+        c2 = pipeline.compile(k2, "infl")
+        assert pipeline.cache.hits > hits_before
+        assert c1.signature() == c2.signature()
+        # The very same Schedule object serves both compilations.
+        assert c2.launches[0].schedule is c1.launches[0].schedule
+
+    def test_novec_and_infl_share_schedule(self):
+        pipeline = AkgPipeline(sample_blocks=2)
+        kernel = operators.reduce_producer_op("share_k", rows=64, red=8)
+        novec = pipeline.compile(kernel, "novec")
+        hits_before = pipeline.cache.hits
+        infl = pipeline.compile(kernel, "infl")
+        assert pipeline.cache.hits == hits_before + 1
+        assert infl.launches[0].schedule is novec.launches[0].schedule
+
+    def test_changed_params_miss(self):
+        pipeline = AkgPipeline(sample_blocks=2)
+        pipeline.compile(operators.reduce_producer_op("p_one", rows=64,
+                                                      red=8), "infl")
+        hits_before = pipeline.cache.hits
+        pipeline.compile(operators.reduce_producer_op("p_two", rows=128,
+                                                      red=8), "infl")
+        assert pipeline.cache.hits == hits_before
+
+    def test_changed_weights_miss(self):
+        cache = ScheduleCache()
+        kernel = operators.reduce_producer_op("w_k", rows=64, red=8)
+        options = SchedulerOptions()
+        key_default = cache.key_for(kernel, influence=True, options=options,
+                                    weights=CostWeights())
+        key_other = cache.key_for(kernel, influence=True, options=options,
+                                  weights=CostWeights(w1=9.0))
+        assert key_default != key_other
+
+    def test_changed_options_miss(self):
+        cache = ScheduleCache()
+        kernel = operators.reduce_producer_op("o_k", rows=64, red=8)
+        weights = CostWeights()
+        key_a = cache.key_for(kernel, influence=True,
+                              options=SchedulerOptions(), weights=weights)
+        key_b = cache.key_for(kernel, influence=True,
+                              options=SchedulerOptions(coeff_bound=5),
+                              weights=weights)
+        assert key_a != key_b
+
+    def test_influence_flag_splits_entries(self):
+        cache = ScheduleCache()
+        kernel = operators.reduce_producer_op("i_k", rows=64, red=8)
+        options, weights = SchedulerOptions(), CostWeights()
+        assert cache.key_for(kernel, influence=True, options=options,
+                             weights=weights) != \
+            cache.key_for(kernel, influence=False, options=options,
+                          weights=weights)
+
+    def test_kernel_name_excluded_from_signature(self):
+        k1 = operators.softmax_like_op("sig_one", rows=32, cols=8)
+        k2 = operators.softmax_like_op("sig_two", rows=32, cols=8)
+        assert kernel_signature(k1) == kernel_signature(k2)
+
+    def test_unused_tensor_declarations_ignored(self):
+        """Sub-kernels inherit all parent tensors; only referenced tensors
+        may enter the content key."""
+        def build(with_extra):
+            k = Kernel("sub", params={"M": 8, "N": 4})
+            k.add_tensor("A", (8, 4))
+            k.add_tensor("B", (8, 4))
+            if with_extra:
+                k.add_tensor("Unused", (64, 64))
+            k.add_statement("S", [("i", 0, "M"), ("j", 0, "N")],
+                            writes=[("B", ["i", "j"])],
+                            reads=[("A", ["i", "j"])])
+            return k
+        assert kernel_signature(build(False)) == kernel_signature(build(True))
+
+    def test_eviction_bounds_entries(self):
+        cache = ScheduleCache(max_entries=2)
+        for index in range(4):
+            cache.store((index,), relations=[], schedule=None)
+        assert len(cache) == 2
+        assert cache.lookup((0,)) is None  # evicted, counted as a miss
+        assert cache.lookup((3,)) is not None
+
+    def test_disabled_cache(self):
+        pipeline = AkgPipeline(sample_blocks=2, enable_cache=False)
+        assert pipeline.cache is None
+        kernel = operators.elementwise_chain_op("nocache", rows=16, cols=8,
+                                                length=1)
+        compiled = pipeline.compile(kernel, "infl")
+        assert compiled.n_launches == 1
+        assert "cache.hits" not in pipeline.context.counters
+        assert "cache.misses" not in pipeline.context.counters
+
+
+class TestAutotuneSharesSchedules:
+    def test_candidates_hit_cache(self):
+        """Tiling candidates re-run only codegen/tile/map: the schedule
+        comes from the shared session's content cache after candidate 1."""
+        from repro.pipeline.autotune import compile_tiled
+        session = CompilationSession(cache=ScheduleCache())
+        kernel = operators.elementwise_chain_op("tune_k", rows=256, cols=32,
+                                                length=1)
+        mapped_a, _ = compile_tiled(kernel, (), session=session)
+        mapped_b, tiled = compile_tiled(kernel, (8, 8), session=session)
+        assert session.cache.hits == 1
+        assert mapped_b.schedule is mapped_a.schedule
+
+    def test_autotune_end_to_end(self):
+        from repro.pipeline.autotune import autotune_tile_sizes
+        kernel = operators.elementwise_chain_op("tune_e2e", rows=256,
+                                                cols=32, length=1)
+        result = autotune_tile_sizes(kernel,
+                                     candidates=((), (8, 8), (16, 16)),
+                                     sample_blocks=2)
+        assert result.best.time > 0
+        assert len(result.candidates) == 3
+
+
+class TestSpeedupGuard:
+    def test_zero_variant_time_is_nan(self):
+        result = OperatorResult(
+            name="z", op_class="x",
+            times={"isl": 1.0, "tvm": 0.0, "novec": 0.5, "infl": 0.0},
+            influenced=True, vectorized=False,
+            launches={"isl": 1, "tvm": 1, "novec": 1, "infl": 1})
+        assert math.isnan(result.speedup("tvm"))
+        assert math.isnan(result.speedup("infl"))
+        assert result.speedup("novec") == 2.0
