@@ -11,6 +11,7 @@ from conftest import write_artifact
 from repro.deps.analysis import compute_dependences
 from repro.influence import build_influence_tree
 from repro.ir.examples import elementwise_chain, matmul, running_example
+from repro.obs import MetricsRegistry, Obs, Tracer, use_obs
 from repro.schedule import InfluencedScheduler
 from repro.workloads import operators
 
@@ -48,6 +49,28 @@ def test_bench_influenced_scheduling(benchmark, case):
 
     schedule = benchmark.pedantic(run, rounds=2, iterations=1)
     assert schedule.is_complete()
+
+
+def test_bench_influenced_scheduling_instrumented(benchmark):
+    """Influenced scheduling with full observability (spans + metrics)
+    installed as the ambient handle.  The plain `test_bench_influenced_*`
+    cases above run against the disabled default handle, so comparing the
+    two in BENCH_* runs bounds the instrumentation overhead (the budget:
+    disabled tracing must stay within noise, enabled well under 2x)."""
+    kernel = CASES["running_example"]()
+    relations = compute_dependences(kernel)
+    tree = build_influence_tree(kernel)
+    obs = Obs(Tracer(enabled=True), MetricsRegistry())
+
+    def run():
+        with use_obs(obs):
+            return InfluencedScheduler(kernel,
+                                       relations=relations).schedule(tree)
+
+    schedule = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert schedule.is_complete()
+    assert obs.metrics.counters["solver.lp_solves"] > 0
+    assert any(s.name == "scheduler.schedule" for s in obs.tracer.roots)
 
 
 def test_bench_dependence_analysis(benchmark):

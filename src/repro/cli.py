@@ -6,15 +6,26 @@
     python -m repro scenarios op.kdl
     python -m repro table1
     python -m repro table2 --limit 6 --networks ResNet50,VGG16
+    python -m repro profile BERT --limit 4
 
 The kernel file format is documented in :mod:`repro.ir.kparser`.
+
+Observability flags: ``--trace FILE`` writes the structured trace
+(``--trace-format chrome`` produces Chrome trace-event JSON openable in
+Perfetto), ``--metrics FILE`` writes the merged metrics registry as JSON.
+Both files are written atomically (temp file + ``os.replace``) and are
+flushed even when evaluation raises, so partial runs stay debuggable.
+Progress goes through the ``repro`` logger: ``-v`` for debug output,
+``-q`` to silence progress.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from typing import Optional, Sequence
 
 from repro.eval import (
@@ -26,13 +37,74 @@ from repro.eval import (
 from repro.eval.tables import geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
+from repro.obs import configure_logging, format_metrics_report, logger
+from repro.obs.metrics import Histogram
 from repro.pipeline import (
     AkgPipeline,
     VARIANTS,
     format_pass_summary,
+    merge_contexts,
     merge_metric_dicts,
 )
 from repro.workloads import NETWORKS
+from repro.workloads.generator import generate_network_suite
+
+TRACE_FORMATS = ("flat", "chrome")
+
+
+# -- observability export -----------------------------------------------------
+
+
+def _write_json_atomic(path: str, payload) -> None:
+    """Write JSON via a sibling temp file + ``os.replace`` so readers never
+    observe a half-written file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp",
+                                    prefix=os.path.basename(path) + ".")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _metrics_payload(merged: dict) -> dict:
+    """The ``--metrics`` JSON document: the merged snapshot minus the bulky
+    trace keys, plus precomputed histogram percentile summaries."""
+    payload = {key: value for key, value in merged.items()
+               if key not in ("events", "spans")}
+    payload["histogram_summaries"] = {
+        name: Histogram.from_dict(entry).summary()
+        for name, entry in merged.get("histograms", {}).items()}
+    return payload
+
+
+def _export_observability(args, metric_payloads: list) -> None:
+    """Flush ``--trace``/``--metrics`` files from whatever metric snapshots
+    exist so far (called from ``finally``: partial runs still export)."""
+    trace_path = getattr(args, "trace", "")
+    metrics_path = getattr(args, "metrics", "")
+    if not trace_path and not metrics_path:
+        return
+    context = merge_contexts(metric_payloads)
+    merged = context.as_dict()
+    if trace_path:
+        if getattr(args, "trace_format", "flat") == "chrome":
+            _write_json_atomic(trace_path, context.chrome_trace())
+        else:
+            _write_json_atomic(trace_path, merged.get("events", []))
+        logger.info("trace written to %s", trace_path)
+    if metrics_path:
+        _write_json_atomic(metrics_path, _metrics_payload(merged))
+        logger.info("metrics written to %s", metrics_path)
+
+
+# -- subcommands --------------------------------------------------------------
 
 
 def _cmd_compile(args) -> int:
@@ -76,6 +148,14 @@ def _cmd_scenarios(args) -> int:
 
 def _cmd_table1(args) -> int:
     print(format_table1())
+    if args.metrics:
+        # Table I is static metadata; export it as gauges for dashboards.
+        gauges = {f"table1.{spec.name}.total_operators": spec.total_operators
+                  for spec in NETWORKS.values()}
+        gauges["table1.networks"] = len(NETWORKS)
+        _write_json_atomic(args.metrics, {"counters": {}, "gauges": gauges,
+                                          "histograms": {}})
+        logger.info("metrics written to %s", args.metrics)
     return 0
 
 
@@ -83,8 +163,8 @@ def _cmd_table2(args) -> int:
     networks = args.networks.split(",") if args.networks else list(NETWORKS)
     unknown = [n for n in networks if n not in NETWORKS]
     if unknown:
-        print(f"unknown networks: {unknown}; pick from {list(NETWORKS)}",
-              file=sys.stderr)
+        logger.error("unknown networks: %s; pick from %s",
+                     unknown, list(NETWORKS))
         return 2
     config = EvaluationConfig(
         seed=args.seed,
@@ -93,21 +173,92 @@ def _cmd_table2(args) -> int:
         jobs=max(args.jobs, 1),
         trace=bool(args.trace))
     results = []
-    for network in networks:
-        print(f"evaluating {network}...", file=sys.stderr)
-        results.append(evaluate_network(network, config))
-    print(format_table2(results))
-    print(f"\ngeomean speedup (infl over isl): "
-          f"{geomean_speedup(results):.2f}x")
-    merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
-    if merged.get("passes"):
-        print()
-        print(format_pass_summary(merged))
-    if args.trace:
-        with open(args.trace, "w") as handle:
-            json.dump(merged.get("events", []), handle, indent=2)
-        print(f"pass trace written to {args.trace}", file=sys.stderr)
+    try:
+        for network in networks:
+            logger.info("evaluating %s...", network)
+            results.append(evaluate_network(network, config))
+        print(format_table2(results))
+        print(f"\ngeomean speedup (infl over isl): "
+              f"{geomean_speedup(results):.2f}x")
+        merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
+        if merged.get("passes"):
+            print()
+            print(format_pass_summary(merged))
+    finally:
+        _export_observability(args, [r.metrics for r in results if r.metrics])
     return 0
+
+
+def _resolve_network(name: str) -> Optional[str]:
+    """Case-insensitive lookup into the Table I network zoo."""
+    by_lower = {n.lower(): n for n in NETWORKS}
+    return by_lower.get(name.lower())
+
+
+def _format_kernel_table(profiles: list) -> str:
+    """Per-kernel memory-counter table (the nvprof-style view behind
+    Tables I-II: DRAM transactions, coalescing efficiency, issue mix)."""
+    width = max([len(p.name) for p in profiles] + [6]) + 2
+    lines = [
+        "per-kernel memory counters:",
+        f"  {'kernel':<{width}}{'blocks':>8}{'thr':>6}{'DRAM tx':>12}"
+        f"{'DRAM MB':>10}{'coalesce':>10}{'vec issue':>11}{'time us':>10}",
+    ]
+    for p in profiles:
+        issues = p.scalar_issues + p.vector_issues
+        vec_share = p.vector_issues / issues if issues else 0.0
+        lines.append(
+            f"  {p.name:<{width}}{p.n_blocks:>8}{p.n_threads_per_block:>6}"
+            f"{p.dram_transactions:>12.0f}{p.dram_bytes / 1e6:>10.2f}"
+            f"{p.coalescing_efficiency * 100:>9.1f}%"
+            f"{vec_share * 100:>10.1f}%{p.time * 1e6:>10.1f}")
+    return "\n".join(lines)
+
+
+def _cmd_profile(args) -> int:
+    network = _resolve_network(args.network)
+    if network is None:
+        logger.error("unknown network %r; pick from %s",
+                     args.network, list(NETWORKS))
+        return 2
+    pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
+                           max_threads=args.max_threads,
+                           trace=bool(args.trace))
+    suite = generate_network_suite(network, seed=args.seed,
+                                   limit=args.limit if args.limit > 0 else None)
+    profiles = []
+    try:
+        for op_class, kernel in suite:
+            logger.info("profiling %s (%s)...", kernel.name, op_class)
+            compiled = pipeline.compile(kernel, args.variant)
+            timing = pipeline.measure(compiled)
+            profiles.extend(timing.profiles)
+        print(f"profile report — {network}, variant {args.variant}, "
+              f"{len(suite)} operator(s), {len(profiles)} kernel launch(es)")
+        print()
+        print(pipeline.context.format_summary())
+        print()
+        print(format_metrics_report(pipeline.context.obs.metrics))
+        print()
+        print(_format_kernel_table(profiles))
+    finally:
+        _export_observability(args, [pipeline.context.as_dict()])
+    return 0
+
+
+# -- the parser ---------------------------------------------------------------
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="", metavar="FILE",
+                        help="write the structured trace log as JSON")
+    parser.add_argument("--trace-format", choices=TRACE_FORMATS,
+                        default="flat",
+                        help="flat event list, or Chrome trace-event JSON "
+                             "for chrome://tracing / Perfetto")
+    parser.add_argument("--metrics", default="", metavar="FILE",
+                        help="write merged metrics (counters, gauges, "
+                             "histograms) as JSON")
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -116,6 +267,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Polyhedral scheduling constraint injection (CGO 2022) "
                     "reproduction")
+    parser.add_argument("--verbose", "-v", action="count", default=0,
+                        help="debug-level progress output")
+    parser.add_argument("--quiet", "-q", action="count", default=0,
+                        help="suppress progress output (warnings only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile a kernel file")
@@ -134,6 +289,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("table1", help="print Table I")
+    p.add_argument("--metrics", default="", metavar="FILE",
+                   help="write network metadata gauges as JSON")
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate Table II")
@@ -145,9 +302,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for suite evaluation (1 = serial)")
-    p.add_argument("--trace", default="", metavar="FILE",
-                   help="write the structured pass-trace log as JSON")
+    _add_obs_arguments(p)
     p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("profile",
+                       help="compile one network and print a metrics report "
+                            "(pass table, solver histograms, per-kernel "
+                            "memory counters)")
+    p.add_argument("network", help="a Table I network (case-insensitive)")
+    p.add_argument("--variant", choices=VARIANTS, default="infl")
+    p.add_argument("--limit", type=int, default=4,
+                   help="operators to profile (0 = the full suite)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sample-blocks", type=int, default=8)
+    p.add_argument("--max-threads", type=int, default=256)
+    _add_obs_arguments(p)
+    p.set_defaults(func=_cmd_profile)
     return parser
 
 
@@ -155,13 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     try:
         return args.func(args)
     except KernelParseError as exc:
-        print(f"parse error: {exc}", file=sys.stderr)
+        logger.error("parse error: %s", exc)
         return 2
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("error: %s", exc)
         return 2
 
 

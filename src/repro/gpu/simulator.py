@@ -24,6 +24,8 @@ from repro.codegen.ast import Guard, Loop, Seq, StatementCall, statements_in
 from repro.codegen.cuda import MappedKernel
 from repro.gpu.arch import GpuArch, V100
 from repro.gpu.memory import MemoryHierarchy, warp_access
+from repro.obs.metrics import RATIO_BUCKETS
+from repro.obs.runtime import get_obs
 from repro.solver.problem import Constraint, LinExpr
 
 
@@ -44,6 +46,8 @@ class KernelProfile:
     flops: float = 0.0
     cache_hits: float = 0.0
     cache_misses: float = 0.0
+    scalar_issues: float = 0.0   # statement issues from scalar code
+    vector_issues: float = 0.0   # statement issues from vectorized loops
 
     @property
     def dram_bytes(self) -> float:
@@ -72,6 +76,28 @@ class KernelProfile:
         if self.dram_bytes == 0:
             return 1.0
         return min(1.0, self.bytes_requested / self.dram_bytes)
+
+    def counters(self) -> dict:
+        """The full counter set as a JSON-safe dict (span attributes and
+        the ``repro profile`` per-kernel table both render this)."""
+        return {
+            "n_blocks": self.n_blocks,
+            "n_threads_per_block": self.n_threads_per_block,
+            "warp_mem_instructions": self.warp_mem_instructions,
+            "warp_arith_instructions": self.warp_arith_instructions,
+            "issue_cycles": self.issue_cycles,
+            "dram_transactions": self.dram_transactions,
+            "dram_bytes": self.dram_bytes,
+            "sectors_touched": self.sectors_touched,
+            "bytes_requested": self.bytes_requested,
+            "flops": self.flops,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "scalar_issues": self.scalar_issues,
+            "vector_issues": self.vector_issues,
+            "coalescing_efficiency": self.coalescing_efficiency,
+            "time_seconds": self.time,
+        }
 
 
 class _CompiledAccess:
@@ -146,6 +172,8 @@ class _Simulator:
         self.flops = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.scalar_issues = 0
+        self.vector_issues = 0
 
     def compulsory_bytes(self) -> int:
         """A lower bound on DRAM traffic: every pure-input tensor is read
@@ -181,6 +209,8 @@ class _Simulator:
         self.flops = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.scalar_issues = 0
+        self.vector_issues = 0
         self.memory.dram_reads = 0
         self.memory.dram_writes = 0
 
@@ -345,6 +375,7 @@ class _Simulator:
         active = [env for env, m in zip(lanes, mask) if m]
         if not active:
             return
+        self.scalar_issues += 1
         for access in self._compiled_accesses(call):
             ranges = [(access.address(env), access.elem_bytes)
                       for env in active]
@@ -358,6 +389,7 @@ class _Simulator:
         active = [env for env, m in zip(lanes, mask) if m]
         if not active:
             return
+        self.vector_issues += 1
         for access in self._compiled_accesses(call):
             stride = access.stride_of(var)
             if stride == access.elem_bytes:
@@ -411,41 +443,62 @@ def _sample_block_ids(n_blocks: int, sample: int) -> tuple[list[int], int]:
 
 def simulate_kernel(mapped: MappedKernel, arch: GpuArch = V100,
                     sample_blocks: int = 4) -> KernelProfile:
-    """Simulate a mapped kernel and estimate its execution time."""
-    n_blocks = mapped.n_blocks
-    block_ids, warmup = _sample_block_ids(n_blocks, sample_blocks)
-    sim = _Simulator(mapped, arch, sampled_blocks=max(1, len(block_ids)))
-    for index, block_id in enumerate(block_ids):
-        env: dict[str, int] = {}
-        remaining = block_id
-        for dim in mapped.grid:
-            env[dim.loop_var] = remaining % dim.extent
-            remaining //= dim.extent
-        sim.run_block(env)
-        sim.memory.end_block()
-        sim.cache_hits += sim.memory.l1.hits + sim.memory.l2.hits
-        sim.cache_misses += sim.memory.l1.misses + sim.memory.l2.misses
-        sim.memory.l1.clear_stats()
-        sim.memory.l2.clear_stats()
-        if index + 1 == warmup:
-            sim.reset_counters()
-    sim.memory.end_kernel()
-    sim.transactions = sim.memory.dram_transactions
-    scale = n_blocks / max(1, len(block_ids) - warmup)
-    floor_transactions = sim.compulsory_bytes() / arch.sector_bytes / scale
-    profile = KernelProfile(
-        name=mapped.kernel.name,
-        arch=arch,
-        n_blocks=n_blocks,
-        n_threads_per_block=mapped.n_threads_per_block,
-        warp_mem_instructions=sim.mem_instrs * scale,
-        warp_arith_instructions=sim.arith_instrs * scale,
-        issue_cycles=sim.issue_cycles * scale,
-        dram_transactions=max(sim.transactions, floor_transactions) * scale,
-        sectors_touched=sim.sectors * scale,
-        bytes_requested=sim.bytes_req * scale,
-        flops=sim.flops * scale,
-        cache_hits=sim.cache_hits * scale,
-        cache_misses=sim.cache_misses * scale,
-    )
+    """Simulate a mapped kernel and estimate its execution time.
+
+    Each run is wrapped in a ``gpu.kernel`` span carrying the full profile
+    counter set, and the profile feeds the ambient ``gpu.*`` histograms
+    (all derived from the deterministic model, so serial and parallel
+    evaluations produce identical metric payloads).
+    """
+    obs = get_obs()
+    with obs.span("gpu.kernel", kernel=mapped.kernel.name) as span:
+        n_blocks = mapped.n_blocks
+        block_ids, warmup = _sample_block_ids(n_blocks, sample_blocks)
+        sim = _Simulator(mapped, arch, sampled_blocks=max(1, len(block_ids)))
+        for index, block_id in enumerate(block_ids):
+            env: dict[str, int] = {}
+            remaining = block_id
+            for dim in mapped.grid:
+                env[dim.loop_var] = remaining % dim.extent
+                remaining //= dim.extent
+            sim.run_block(env)
+            sim.memory.end_block()
+            sim.cache_hits += sim.memory.l1.hits + sim.memory.l2.hits
+            sim.cache_misses += sim.memory.l1.misses + sim.memory.l2.misses
+            sim.memory.l1.clear_stats()
+            sim.memory.l2.clear_stats()
+            if index + 1 == warmup:
+                sim.reset_counters()
+        sim.memory.end_kernel()
+        sim.transactions = sim.memory.dram_transactions
+        scale = n_blocks / max(1, len(block_ids) - warmup)
+        floor_transactions = sim.compulsory_bytes() / arch.sector_bytes / scale
+        profile = KernelProfile(
+            name=mapped.kernel.name,
+            arch=arch,
+            n_blocks=n_blocks,
+            n_threads_per_block=mapped.n_threads_per_block,
+            warp_mem_instructions=sim.mem_instrs * scale,
+            warp_arith_instructions=sim.arith_instrs * scale,
+            issue_cycles=sim.issue_cycles * scale,
+            dram_transactions=max(sim.transactions, floor_transactions) * scale,
+            sectors_touched=sim.sectors * scale,
+            bytes_requested=sim.bytes_req * scale,
+            flops=sim.flops * scale,
+            cache_hits=sim.cache_hits * scale,
+            cache_misses=sim.cache_misses * scale,
+            scalar_issues=sim.scalar_issues * scale,
+            vector_issues=sim.vector_issues * scale,
+        )
+        span.set(**profile.counters())
+    metrics = obs.metrics
+    if metrics.enabled:
+        metrics.count("gpu.kernels")
+        metrics.count("gpu.dram_transactions", profile.dram_transactions)
+        metrics.count("gpu.bytes_requested", profile.bytes_requested)
+        metrics.count("gpu.scalar_issues", profile.scalar_issues)
+        metrics.count("gpu.vector_issues", profile.vector_issues)
+        metrics.observe("gpu.kernel_seconds", profile.time)
+        metrics.observe("gpu.coalescing_efficiency",
+                        profile.coalescing_efficiency, bounds=RATIO_BUCKETS)
     return profile

@@ -1,0 +1,40 @@
+"""``repro.obs`` — the unified tracing + metrics subsystem.
+
+* :mod:`repro.obs.trace` — hierarchical spans, Chrome trace-event export;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.runtime` — the ambient :class:`Obs` handle instrumented
+  code records into;
+* :mod:`repro.obs.logutil` — the package-level ``repro`` logger.
+
+Metric naming scheme (dotted, lowercase): ``scheduler.*`` for Algorithm 1
+activity, ``solver.*`` for simplex/ILP internals, ``cache.*`` for the
+schedule cache, ``gpu.*`` for the simulator, ``pass.*`` for pipeline
+stages.
+"""
+
+from repro.obs.logutil import configure_logging, logger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    format_metrics_report,
+)
+from repro.obs.runtime import NULL_OBS, Obs, get_obs, use_obs
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "RATIO_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Obs",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "format_metrics_report",
+    "get_obs",
+    "logger",
+    "use_obs",
+]

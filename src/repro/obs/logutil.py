@@ -1,0 +1,38 @@
+"""The package-level ``repro`` logger.
+
+All progress/diagnostic output that previously went through
+``print(..., file=sys.stderr)`` is routed through ``logging.getLogger("repro")``
+so library users can silence or redirect it.  The CLI calls
+:func:`configure_logging` once, mapping ``--quiet``/``--verbose`` to levels;
+library use leaves the logger untouched (it propagates to the root logger
+as usual, with a NullHandler so nothing prints by default).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+logger = logging.getLogger("repro")
+logger.addHandler(logging.NullHandler())
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    ``verbosity``: negative = quiet (warnings only), 0 = progress (info),
+    positive = debug.  Re-configuring replaces the previous CLI handler, so
+    tests may call this repeatedly.
+    """
+    level = (logging.WARNING if verbosity < 0
+             else logging.INFO if verbosity == 0 else logging.DEBUG)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.set_name("repro-cli")
+    for existing in list(logger.handlers):
+        if existing.get_name() == "repro-cli":
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

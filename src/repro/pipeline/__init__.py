@@ -22,6 +22,7 @@ from repro.pipeline.passes import (
     CompilationSession,
     PassContext,
     format_pass_summary,
+    merge_contexts,
     merge_metric_dicts,
     variant_passes,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "CompilationSession",
     "PassContext",
     "format_pass_summary",
+    "merge_contexts",
     "merge_metric_dicts",
     "variant_passes",
 ]

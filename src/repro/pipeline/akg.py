@@ -19,6 +19,7 @@ from repro.gpu.simulator import KernelProfile, simulate_kernel
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
+from repro.obs import use_obs
 from repro.pipeline.cache import ScheduleCache
 from repro.pipeline.passes import (
     CompilationSession,
@@ -176,9 +177,10 @@ class AkgPipeline:
     # -- measurement -----------------------------------------------------------
 
     def measure(self, compiled: CompiledOperator) -> OperatorTiming:
-        profiles = [simulate_kernel(launch, arch=self.arch,
-                                    sample_blocks=self.sample_blocks)
-                    for launch in compiled.launches]
+        with use_obs(self.session.context.obs):
+            profiles = [simulate_kernel(launch, arch=self.arch,
+                                        sample_blocks=self.sample_blocks)
+                        for launch in compiled.launches]
         return OperatorTiming(compiled=compiled, profiles=profiles)
 
     def compile_and_measure(self, kernel: Kernel,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.codegen.cuda import MappedKernel, map_to_gpu
@@ -30,6 +30,8 @@ from repro.deps.analysis import compute_dependences
 from repro.influence.builder import build_influence_tree
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
+from repro.obs import MetricsRegistry, Obs, Tracer, use_obs
+from repro.obs.metrics import format_histogram_line, Histogram
 from repro.schedule.scheduler import (
     InfluencedScheduler,
     SchedulerOptions,
@@ -47,38 +49,58 @@ PASS_ORDER = ("deps", "influence-tree", "schedule", "codegen", "tile",
 class PassContext:
     """Aggregated instrumentation of one or more compilation sessions.
 
-    ``pass_seconds``/``pass_calls`` hold per-pass wall time, ``counters``
-    hold named counters (scheduler activity, cache hits/misses), and
-    ``events`` is the structured trace log (populated only when tracing is
-    enabled; each event is a JSON-safe dict).  Contexts merge: per-worker
-    metrics from a parallel evaluation fold into a single report.
+    Re-based on :mod:`repro.obs`: the context owns an :class:`Obs` bundle —
+    a metrics registry (always on: ``counters`` delegates to it) and a
+    tracer (hierarchical spans, on only when ``trace=True``).
+    ``pass_seconds``/``pass_calls`` hold per-pass wall time, and ``events``
+    is the legacy flat trace log — every event now stamped with a
+    wall-anchored monotonic ``ts`` and a ``worker`` id so merged
+    multi-worker logs keep a coherent order.  Contexts merge: per-worker
+    snapshots from a parallel evaluation fold into a single report (spans
+    are clock-offset-normalized by the tracer, then time-sorted).
     """
 
-    def __init__(self, trace: bool = False):
-        self.trace_enabled = trace
+    def __init__(self, trace: bool = False, obs: Optional[Obs] = None):
+        if obs is None:
+            obs = Obs(tracer=Tracer(enabled=trace),
+                      metrics=MetricsRegistry())
+        self.obs = obs
         self.pass_seconds: dict[str, float] = {}
         self.pass_calls: dict[str, int] = {}
-        self.counters: dict[str, float] = {}
         self.events: list[dict] = []
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self.obs.tracer.enabled
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return self.obs.metrics.counters
 
     # -- recording -----------------------------------------------------------
 
     @contextmanager
     def timed(self, name: str, **trace_fields):
-        """Time one pass execution; records a trace event when tracing."""
+        """Time one pass execution; records a span (and a stamped legacy
+        event) when tracing."""
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.pass_seconds[name] = self.pass_seconds.get(name, 0.0) + elapsed
-            self.pass_calls[name] = self.pass_calls.get(name, 0) + 1
-            if self.trace_enabled:
-                self.events.append({"event": "pass", "pass": name,
-                                    "seconds": elapsed, **trace_fields})
+        with self.obs.span(f"pass.{name}", **trace_fields):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.pass_seconds[name] = \
+                    self.pass_seconds.get(name, 0.0) + elapsed
+                self.pass_calls[name] = self.pass_calls.get(name, 0) + 1
+                self.obs.observe(f"pass.{name}.seconds", elapsed)
+                if self.trace_enabled:
+                    self.events.append({
+                        "event": "pass", "pass": name, "seconds": elapsed,
+                        "ts": self.obs.tracer.now() - elapsed,
+                        "worker": self.obs.tracer.worker, **trace_fields})
 
     def count(self, name: str, amount: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.obs.metrics.count(name, amount)
 
     def add_counters(self, mapping: dict, prefix: str = "") -> None:
         for name, amount in mapping.items():
@@ -87,20 +109,29 @@ class PassContext:
     def record(self, event: str, **fields) -> None:
         """Append a structured trace event (no-op unless tracing)."""
         if self.trace_enabled:
-            self.events.append({"event": event, **fields})
+            self.obs.event(event, **fields)
+            self.events.append({"event": event,
+                                "ts": self.obs.tracer.now(),
+                                "worker": self.obs.tracer.worker, **fields})
 
     # -- (de)serialization and merging ---------------------------------------
 
     def as_dict(self) -> dict:
         """JSON-safe snapshot (what parallel workers ship back)."""
+        metrics = self.obs.metrics.as_dict()
         payload = {
             "passes": {name: {"calls": self.pass_calls.get(name, 0),
                               "seconds": self.pass_seconds.get(name, 0.0)}
                        for name in self.pass_seconds},
-            "counters": dict(self.counters),
+            "counters": metrics["counters"],
+            "gauges": metrics["gauges"],
+            "histograms": metrics["histograms"],
         }
         if self.events:
             payload["events"] = list(self.events)
+        spans = self.obs.tracer.as_dict()["spans"]
+        if spans:
+            payload["spans"] = spans
         return payload
 
     def merge_dict(self, payload: dict) -> None:
@@ -110,11 +141,20 @@ class PassContext:
                 self.pass_seconds.get(name, 0.0) + entry.get("seconds", 0.0)
             self.pass_calls[name] = \
                 self.pass_calls.get(name, 0) + entry.get("calls", 0)
-        self.add_counters(payload.get("counters", {}))
+        self.obs.metrics.merge_dict({
+            "counters": payload.get("counters", {}),
+            "gauges": payload.get("gauges", {}),
+            "histograms": payload.get("histograms", {})})
         self.events.extend(payload.get("events", ()))
+        self.events.sort(key=lambda e: e.get("ts", 0.0))
+        self.obs.tracer.merge_dict({"spans": payload.get("spans", ())})
 
     def merge(self, other: "PassContext") -> None:
         self.merge_dict(other.as_dict())
+
+    def chrome_trace(self) -> dict:
+        """The (merged) span log as Chrome trace-event JSON."""
+        return self.obs.tracer.chrome_trace()
 
     def format_summary(self) -> str:
         """Human-readable per-pass timing table plus headline counters."""
@@ -123,13 +163,19 @@ class PassContext:
 
 def merge_metric_dicts(payloads: Iterable[dict]) -> dict:
     """Merge several :meth:`PassContext.as_dict` snapshots into one."""
-    merged = PassContext(trace=True)  # keep events from any payload
-    for payload in payloads:
-        merged.merge_dict(payload)
+    merged = merge_contexts(payloads)
     out = merged.as_dict()
     out.setdefault("passes", {})
     out.setdefault("counters", {})
     return out
+
+
+def merge_contexts(payloads: Iterable[dict]) -> PassContext:
+    """Merge snapshots into a fresh tracing context (spans preserved)."""
+    merged = PassContext(trace=True)  # keep events/spans from any payload
+    for payload in payloads:
+        merged.merge_dict(payload)
+    return merged
 
 
 def format_pass_summary(metrics: dict) -> str:
@@ -159,6 +205,10 @@ def format_pass_summary(metrics: dict) -> str:
     if scheduler:
         rendered = ", ".join(f"{k}={v}" for k, v in scheduler.items())
         lines.append(f"  scheduler: {rendered}")
+    solve_hist = metrics.get("histograms", {}).get("solver.solve_seconds")
+    if solve_hist:
+        lines.append(format_histogram_line("solver.solve_seconds",
+                                           Histogram.from_dict(solve_hist)))
     return "\n".join(lines)
 
 
@@ -325,34 +375,41 @@ class CompilationSession:
 
     def run(self, kernel: Kernel, passes: Sequence[Pass],
             variant: str = "custom") -> PassState:
-        """Run ``passes`` over ``kernel``; returns the final state."""
+        """Run ``passes`` over ``kernel``; returns the final state.
+
+        The session's :class:`~repro.obs.Obs` bundle is installed as the
+        ambient handle for the duration, so deep instrumentation (solver
+        pivots, scheduler spans) lands in this context."""
         state = PassState(kernel=kernel, variant=variant)
         influence = any(isinstance(p, InfluenceTreePass) for p in passes)
-        key = None
-        if self.cache is not None \
-                and any(getattr(p, "cacheable", False) for p in passes):
-            key = self.cache.key_for(kernel, influence=influence,
-                                     options=self.options,
-                                     weights=self.weights)
-            entry = self.cache.lookup(key)
-            if entry is not None:
-                state.relations = entry.relations
-                state.schedule = entry.schedule
-                state.scheduler_stats = entry.stats
-                state.from_cache = True
-                self.context.count("cache.hits")
-                self.context.record("cache-hit", kernel=kernel.name,
-                                    variant=variant)
-            else:
-                self.context.count("cache.misses")
-        for p in passes:
-            if state.from_cache and p.cacheable:
-                continue
-            with self.context.timed(p.name, kernel=kernel.name,
-                                    variant=variant):
-                p.run(state, self)
-        if key is not None and not state.from_cache:
-            self.cache.store(key, relations=state.relations,
-                             schedule=state.schedule,
-                             stats=state.scheduler_stats)
+        with use_obs(self.context.obs), \
+                self.context.obs.span("compile", kernel=kernel.name,
+                                      variant=variant):
+            key = None
+            if self.cache is not None \
+                    and any(getattr(p, "cacheable", False) for p in passes):
+                key = self.cache.key_for(kernel, influence=influence,
+                                         options=self.options,
+                                         weights=self.weights)
+                entry = self.cache.lookup(key)
+                if entry is not None:
+                    state.relations = entry.relations
+                    state.schedule = entry.schedule
+                    state.scheduler_stats = entry.stats
+                    state.from_cache = True
+                    self.context.count("cache.hits")
+                    self.context.record("cache-hit", kernel=kernel.name,
+                                        variant=variant)
+                else:
+                    self.context.count("cache.misses")
+            for p in passes:
+                if state.from_cache and p.cacheable:
+                    continue
+                with self.context.timed(p.name, kernel=kernel.name,
+                                        variant=variant):
+                    p.run(state, self)
+            if key is not None and not state.from_cache:
+                self.cache.store(key, relations=state.relations,
+                                 schedule=state.schedule,
+                                 stats=state.scheduler_stats)
         return state

@@ -31,6 +31,7 @@ from repro.deps.graph import DependenceGraph
 from repro.deps.relation import DependenceRelation
 from repro.influence.tree import InfluenceTree, TreeCursor, parse_theta
 from repro.ir.kernel import Kernel
+from repro.obs.runtime import NULL_OBS, get_obs
 from repro.schedule.analysis import annotate_parallelism, satisfaction_depth
 from repro.schedule.constraints import (
     DimensionProblem,
@@ -101,6 +102,7 @@ class InfluencedScheduler:
         self.validity_relations = [r for r in self.relations if r.kind != "input"]
         self.input_relations = [r for r in self.relations if r.kind == "input"]
         self.stats = SchedulerStats()
+        self._obs = NULL_OBS
 
     # -- public API -----------------------------------------------------------
 
@@ -109,11 +111,18 @@ class InfluencedScheduler:
         if tree is not None:
             tree.validate()
         self.stats = SchedulerStats()
-        try:
-            result = self._construct(tree)
-        except _RestartWithoutInfluence:
-            self.stats.influence_abandoned = True
-            result = self._construct(None)
+        self._obs = get_obs()
+        with self._obs.span("scheduler.schedule", kernel=self.kernel.name,
+                            influenced=tree is not None) as span:
+            try:
+                result = self._construct(tree)
+            except _RestartWithoutInfluence:
+                self.stats.influence_abandoned = True
+                self._obs.event("scheduler.backtrack", kind="abandon-influence",
+                                kernel=self.kernel.name)
+                result = self._construct(None)
+            span.set(dimensions=result.n_dims,
+                     ilp_solves=self.stats.ilp_solves)
         annotate_parallelism(result, self.validity_relations)
         return result
 
@@ -154,31 +163,48 @@ class InfluencedScheduler:
                 # (Algorithm 1 lines 12-15).
                 self._snapshot(backups, cursor, active, schedule)
                 self.stats.progression_drops += 1
-                rows = self._solve_dimension(
-                    schedule, active, cursor, with_progression=False,
-                    coincidence=False)
-                if rows is not None:
-                    self._append(schedule, rows, cursor, band, coincident=False)
-                    cursor = cursor.first_child()
-                    continue
-                cursor, schedule, active, band = self._fallback(
-                    schedule, active, cursor, backups, band)
+                with self._obs.span("scheduler.dimension",
+                                    dim=schedule.n_dims,
+                                    supplementary=True) as span:
+                    solves_before = self.stats.ilp_solves
+                    rows = self._solve_dimension(
+                        schedule, active, cursor, with_progression=False,
+                        coincidence=False)
+                    if rows is not None:
+                        self._append(schedule, rows, cursor, band,
+                                     coincident=False)
+                        span.set(built=True,
+                                 ilp_solves=self.stats.ilp_solves
+                                 - solves_before)
+                        cursor = cursor.first_child()
+                        continue
+                    cursor, schedule, active, band = self._fallback(
+                        schedule, active, cursor, backups, band)
+                    span.set(built=False,
+                             ilp_solves=self.stats.ilp_solves - solves_before)
                 continue
 
             if cursor is not None:
                 self._snapshot(backups, cursor, active, schedule)
 
-            rows, coincident = self._attempt(schedule, active, cursor)
-            if rows is not None:
-                self._append(schedule, rows, cursor, band, coincident)
-                if cursor is not None:
-                    cursor = cursor.first_child()
-                continue
+            with self._obs.span("scheduler.dimension",
+                                dim=schedule.n_dims) as span:
+                solves_before = self.stats.ilp_solves
+                rows, coincident = self._attempt(schedule, active, cursor)
+                if rows is not None:
+                    self._append(schedule, rows, cursor, band, coincident)
+                    span.set(built=True, coincident=coincident,
+                             ilp_solves=self.stats.ilp_solves - solves_before)
+                    if cursor is not None:
+                        cursor = cursor.first_child()
+                    continue
 
-            # Failure ladder (2)-(5).
-            previous = (cursor, schedule.n_dims, len(active))
-            cursor, schedule, active, band = self._fallback(
-                schedule, active, cursor, backups, band)
+                # Failure ladder (2)-(5).
+                previous = (cursor, schedule.n_dims, len(active))
+                cursor, schedule, active, band = self._fallback(
+                    schedule, active, cursor, backups, band)
+                span.set(built=False,
+                         ilp_solves=self.stats.ilp_solves - solves_before)
             if (cursor, schedule.n_dims, len(active)) == previous:
                 raise SchedulingError(
                     f"no progress scheduling kernel {self.kernel.name} at "
@@ -248,6 +274,10 @@ class InfluencedScheduler:
         rows = problem.solve(extra_objectives=extra,
                              injected_objectives=injected,
                              max_nodes=self.options.max_ilp_nodes)
+        self._obs.event("scheduler.ilp-solve", dim=schedule.n_dims,
+                        coincidence=coincidence,
+                        progression=with_progression,
+                        feasible=rows is not None)
         if rows is None:
             return None
         out = {}
@@ -298,6 +328,8 @@ class InfluencedScheduler:
             sibling = cursor.right_sibling()
             if sibling is not None:
                 self.stats.sibling_fallbacks += 1
+                self._obs.event("scheduler.backtrack", kind="sibling",
+                                dim=schedule.n_dims)
                 saved_active, _ = backups[cursor.depth]
                 return sibling, schedule, list(saved_active), band
 
@@ -305,6 +337,8 @@ class InfluencedScheduler:
         remaining = [r for r in active if satisfaction_depth(r, schedule) is None]
         if len(remaining) != len(active):
             self.stats.permutability_drops += 1
+            self._obs.event("scheduler.backtrack", kind="permutability-drop",
+                            dim=schedule.n_dims)
             return cursor, schedule, remaining, band + 1
 
         # (4) closest right sibling of an ancestor.
@@ -312,6 +346,8 @@ class InfluencedScheduler:
             ancestor = cursor.ancestor_right_sibling()
             if ancestor is not None:
                 self.stats.ancestor_backtracks += 1
+                self._obs.event("scheduler.backtrack", kind="ancestor",
+                                dim=schedule.n_dims)
                 saved_active, saved_dims = backups[ancestor.depth]
                 schedule.drop_dimensions_from(saved_dims)
                 del backups[ancestor.depth:]
@@ -320,6 +356,8 @@ class InfluencedScheduler:
 
         # (5) separate strongly connected components.
         if self._separate_sccs(schedule, active, band + 1):
+            self._obs.event("scheduler.backtrack", kind="scc-separation",
+                            dim=schedule.n_dims)
             remaining = [r for r in active
                          if satisfaction_depth(r, schedule) is None]
             return cursor, schedule, remaining, band + 1

@@ -13,7 +13,16 @@ from dataclasses import replace
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from repro.obs.runtime import get_obs
 from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
+
+
+def _report_bb_nodes(nodes: int) -> None:
+    """Feed branch-and-bound activity to the ambient metrics registry."""
+    metrics = get_obs().metrics
+    if metrics.enabled:
+        metrics.count("solver.ilp_solves")
+        metrics.count("solver.bb_nodes", nodes)
 
 
 class BranchLimitExceeded(Exception):
@@ -54,30 +63,33 @@ def solve_ilp(lp: LinearProgram,
     stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
     nodes = 0
 
-    while stack:
-        lower, upper = stack.pop()
-        nodes += 1
-        if nodes > max_nodes:
-            raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
-        node_lp = replace(lp, lower=list(lower), upper=list(upper))
-        result = solve_lp(node_lp)
-        if result.status is not LPStatus.OPTIMAL:
-            continue
-        if best is not None and result.objective >= best.objective:
-            continue  # bound: the relaxation cannot beat the incumbent
-        branch_var = _first_fractional(result.x, integer_mask)
-        if branch_var is None:
-            best = result
-            continue
-        value = result.x[branch_var]
-        floor_val = Fraction(value.numerator // value.denominator)
-        # Explore the floor side first (schedule coefficients tend small).
-        up_lower = list(lower)
-        up_lower[branch_var] = floor_val + 1
-        stack.append((up_lower, list(upper)))
-        down_upper = list(upper)
-        down_upper[branch_var] = floor_val
-        stack.append((list(lower), down_upper))
+    try:
+        while stack:
+            lower, upper = stack.pop()
+            nodes += 1
+            if nodes > max_nodes:
+                raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+            node_lp = replace(lp, lower=list(lower), upper=list(upper))
+            result = solve_lp(node_lp)
+            if result.status is not LPStatus.OPTIMAL:
+                continue
+            if best is not None and result.objective >= best.objective:
+                continue  # bound: the relaxation cannot beat the incumbent
+            branch_var = _first_fractional(result.x, integer_mask)
+            if branch_var is None:
+                best = result
+                continue
+            value = result.x[branch_var]
+            floor_val = Fraction(value.numerator // value.denominator)
+            # Explore the floor side first (schedule coefficients tend small).
+            up_lower = list(lower)
+            up_lower[branch_var] = floor_val + 1
+            stack.append((up_lower, list(upper)))
+            down_upper = list(upper)
+            down_upper[branch_var] = floor_val
+            stack.append((list(lower), down_upper))
+    finally:
+        _report_bb_nodes(nodes)
 
     if best is None:
         return LPResult(LPStatus.INFEASIBLE)
@@ -102,24 +114,27 @@ def integer_feasible(lp: LinearProgram,
 
     stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
     nodes = 0
-    while stack:
-        lower, upper = stack.pop()
-        nodes += 1
-        if nodes > max_nodes:
-            raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
-        node_lp = replace(zero_obj, lower=list(lower), upper=list(upper))
-        result = solve_lp(node_lp)
-        if result.status is not LPStatus.OPTIMAL:
-            continue
-        branch_var = _first_fractional(result.x, integer_mask)
-        if branch_var is None:
-            return True
-        value = result.x[branch_var]
-        floor_val = Fraction(value.numerator // value.denominator)
-        up_lower = list(lower)
-        up_lower[branch_var] = floor_val + 1
-        stack.append((up_lower, list(upper)))
-        down_upper = list(upper)
-        down_upper[branch_var] = floor_val
-        stack.append((list(lower), down_upper))
-    return False
+    try:
+        while stack:
+            lower, upper = stack.pop()
+            nodes += 1
+            if nodes > max_nodes:
+                raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+            node_lp = replace(zero_obj, lower=list(lower), upper=list(upper))
+            result = solve_lp(node_lp)
+            if result.status is not LPStatus.OPTIMAL:
+                continue
+            branch_var = _first_fractional(result.x, integer_mask)
+            if branch_var is None:
+                return True
+            value = result.x[branch_var]
+            floor_val = Fraction(value.numerator // value.denominator)
+            up_lower = list(lower)
+            up_lower[branch_var] = floor_val + 1
+            stack.append((up_lower, list(upper)))
+            down_upper = list(upper)
+            down_upper[branch_var] = floor_val
+            stack.append((list(lower), down_upper))
+        return False
+    finally:
+        _report_bb_nodes(nodes)

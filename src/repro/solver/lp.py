@@ -20,6 +20,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.linalg.rational import frac
+from repro.obs.runtime import get_obs
 
 
 class LPStatus(enum.Enum):
@@ -81,15 +82,21 @@ def solve_lp(lp: LinearProgram) -> LPResult:
     """Solve ``lp`` exactly; see :class:`LinearProgram` for the form."""
     std = _Standardizer(lp)
     tableau = _Tableau(std.rows, std.rhs, std.n_std_vars)
-    if not tableau.phase_one(std.row_slack):
-        return LPResult(LPStatus.INFEASIBLE)
-    status = tableau.phase_two(std.std_objective)
-    if status is LPStatus.UNBOUNDED:
-        return LPResult(LPStatus.UNBOUNDED)
-    x_std = tableau.primal_solution()
-    x = std.recover(x_std)
-    value = sum((c * v for c, v in zip(lp.objective, x)), Fraction(0))
-    return LPResult(LPStatus.OPTIMAL, x, value)
+    try:
+        if not tableau.phase_one(std.row_slack):
+            return LPResult(LPStatus.INFEASIBLE)
+        status = tableau.phase_two(std.std_objective)
+        if status is LPStatus.UNBOUNDED:
+            return LPResult(LPStatus.UNBOUNDED)
+        x_std = tableau.primal_solution()
+        x = std.recover(x_std)
+        value = sum((c * v for c, v in zip(lp.objective, x)), Fraction(0))
+        return LPResult(LPStatus.OPTIMAL, x, value)
+    finally:
+        metrics = get_obs().metrics
+        if metrics.enabled:
+            metrics.count("solver.lp_solves")
+            metrics.count("solver.pivots", tableau.pivots)
 
 
 class _Standardizer:
@@ -214,6 +221,7 @@ class _Tableau:
             {j: a for j, a in enumerate(r) if a != 0} for r in rows]
         self.rhs = list(rhs)
         self.basis: list[int] = [-1] * self.n_rows
+        self.pivots = 0
 
     def phase_one(self, row_slack: Optional[list[Optional[int]]] = None) -> bool:
         """Find a feasible basis; True iff one exists.
@@ -322,6 +330,7 @@ class _Tableau:
             basis_set.add(entering)
 
     def _pivot(self, row: int, col: int) -> None:
+        self.pivots += 1
         pivot_row = self.rows[row]
         inv = 1 / pivot_row[col]
         if inv != 1:

@@ -14,11 +14,13 @@ error-prone, so this module provides:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.linalg.rational import frac
+from repro.obs.runtime import get_obs
 from repro.solver.lp import LinearProgram, LPResult, LPStatus
 from repro.solver.lexmin import lexicographic_minimize
 from repro.solver.ilp import solve_ilp
@@ -342,12 +344,22 @@ class Problem:
         Returns the assignment dict, or None if infeasible/unbounded.
         """
         if presolve:
-            protect = objective.variables() if objective is not None else set()
-            reduced, eliminated = self.presolved(protect=protect)
-            sub = reduced.solve(objective, max_nodes=max_nodes, presolve=False)
-            if sub is None:
-                return None
-            return self._recover(sub, eliminated)
+            # Public entry: the recursive presolve=False call below is part
+            # of the same solve, so only this level feeds the histogram.
+            started = time.perf_counter()
+            try:
+                protect = objective.variables() if objective is not None else set()
+                reduced, eliminated = self.presolved(protect=protect)
+                sub = reduced.solve(objective, max_nodes=max_nodes,
+                                    presolve=False)
+                if sub is None:
+                    return None
+                return self._recover(sub, eliminated)
+            finally:
+                metrics = get_obs().metrics
+                if metrics.enabled:
+                    metrics.observe("solver.solve_seconds",
+                                    time.perf_counter() - started)
         lp = self.lower_to_lp(objective)
         result = solve_ilp(lp, integer_mask=self.integer_mask(), max_nodes=max_nodes)
         if result.status is not LPStatus.OPTIMAL:
@@ -359,14 +371,22 @@ class Problem:
                presolve: bool = True) -> Optional[dict[str, Fraction]]:
         """Lexicographically minimize the given objective expressions."""
         if presolve:
-            protect = set()
-            for obj in objectives:
-                protect |= obj.variables()
-            reduced, eliminated = self.presolved(protect=protect)
-            sub = reduced.lexmin(objectives, max_nodes=max_nodes, presolve=False)
-            if sub is None:
-                return None
-            return self._recover(sub, eliminated)
+            started = time.perf_counter()
+            try:
+                protect = set()
+                for obj in objectives:
+                    protect |= obj.variables()
+                reduced, eliminated = self.presolved(protect=protect)
+                sub = reduced.lexmin(objectives, max_nodes=max_nodes,
+                                     presolve=False)
+                if sub is None:
+                    return None
+                return self._recover(sub, eliminated)
+            finally:
+                metrics = get_obs().metrics
+                if metrics.enabled:
+                    metrics.observe("solver.solve_seconds",
+                                    time.perf_counter() - started)
         lp = self.lower_to_lp()
         rows = [self._row(obj) for obj in objectives]
         result = lexicographic_minimize(lp, rows,
