@@ -15,15 +15,19 @@ Public API overview
   with the paper's four evaluation variants (isl / tvm / novec / infl).
 * :func:`repro.gpu.simulate_kernel` — the analytic GPU execution model.
 * :mod:`repro.eval` — the Table I / Table II harness.
+* :mod:`repro.errors` — the :class:`~repro.errors.ReproError` exception
+  taxonomy; :mod:`repro.solver.budget` and :mod:`repro.faultinject` — solve
+  budgets and deterministic fault injection (see DESIGN.md "Resilience").
 
 See README.md for a tour and DESIGN.md for the architecture.
 """
 
 __version__ = "1.0.0"
 
+from repro.errors import ReproError
 from repro.ir import Kernel
 from repro.pipeline import AkgPipeline
 from repro.schedule import InfluencedScheduler, SchedulerOptions
 
 __all__ = ["Kernel", "AkgPipeline", "InfluencedScheduler",
-           "SchedulerOptions", "__version__"]
+           "SchedulerOptions", "ReproError", "__version__"]

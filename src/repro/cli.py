@@ -28,13 +28,14 @@ import sys
 import tempfile
 from typing import Optional, Sequence
 
+from repro.errors import ReproError
 from repro.eval import (
     EvaluationConfig,
     evaluate_network,
     format_table1,
     format_table2,
 )
-from repro.eval.tables import geomean_speedup
+from repro.eval.tables import format_degradation_summary, geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
 from repro.obs import configure_logging, format_metrics_report, logger
@@ -46,6 +47,8 @@ from repro.pipeline import (
     merge_contexts,
     merge_metric_dicts,
 )
+from repro.schedule import SchedulerOptions
+from repro.solver.budget import SolveBudget
 from repro.workloads import NETWORKS
 from repro.workloads.generator import generate_network_suite
 
@@ -171,7 +174,8 @@ def _cmd_table2(args) -> int:
         limit_per_network=args.limit if args.limit > 0 else None,
         sample_blocks=args.sample_blocks,
         jobs=max(args.jobs, 1),
-        trace=bool(args.trace))
+        trace=bool(args.trace),
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None)
     results = []
     try:
         for network in networks:
@@ -180,12 +184,25 @@ def _cmd_table2(args) -> int:
         print(format_table2(results))
         print(f"\ngeomean speedup (infl over isl): "
               f"{geomean_speedup(results):.2f}x")
+        print()
+        print(format_degradation_summary(results))
         merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
         if merged.get("passes"):
             print()
             print(format_pass_summary(merged))
     finally:
         _export_observability(args, [r.metrics for r in results if r.metrics])
+    degraded = sum(r.count_degraded for r in results)
+    failed = sum(r.count_failed for r in results)
+    if failed:
+        logger.error("%d operator(s) failed to compile; the report above "
+                     "is partial", failed)
+        return 1
+    if degraded and not args.allow_degraded:
+        logger.error("%d operator(s) compiled at reduced quality; pass "
+                     "--allow-degraded to accept the fallback results",
+                     degraded)
+        return 1
     return 0
 
 
@@ -221,16 +238,30 @@ def _cmd_profile(args) -> int:
         logger.error("unknown network %r; pick from %s",
                      args.network, list(NETWORKS))
         return 2
+    options = None
+    if args.deadline_ms > 0:
+        options = SchedulerOptions(budget=SolveBudget(
+            deadline_s=args.deadline_ms / 1000.0))
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
                            max_threads=args.max_threads,
+                           scheduler_options=options,
                            trace=bool(args.trace))
     suite = generate_network_suite(network, seed=args.seed,
                                    limit=args.limit if args.limit > 0 else None)
     profiles = []
+    degraded: list[tuple[str, str]] = []
+    failed: list[tuple[str, str]] = []
     try:
         for op_class, kernel in suite:
             logger.info("profiling %s (%s)...", kernel.name, op_class)
-            compiled = pipeline.compile(kernel, args.variant)
+            try:
+                compiled = pipeline.compile(kernel, args.variant)
+            except ReproError as exc:
+                failed.append((kernel.name, f"{type(exc).__name__}: {exc}"))
+                logger.warning("skipping %s: %s", kernel.name, exc)
+                continue
+            if compiled.degradation != "none":
+                degraded.append((kernel.name, compiled.degradation))
             timing = pipeline.measure(compiled)
             profiles.extend(timing.profiles)
         print(f"profile report — {network}, variant {args.variant}, "
@@ -241,9 +272,19 @@ def _cmd_profile(args) -> int:
         print(format_metrics_report(pipeline.context.obs.metrics))
         print()
         print(_format_kernel_table(profiles))
+        print()
+        counters = pipeline.context.counters
+        ok = len(suite) - len(degraded) - len(failed)
+        print(f"degradation summary: {ok} ok, {len(degraded)} degraded, "
+              f"{len(failed)} failed; "
+              f"fallbacks={int(counters.get('resilience.fallback', 0))}")
+        for name, level in degraded:
+            print(f"  {name}: degraded ({level})")
+        for name, error in failed:
+            print(f"  {name}: FAILED ({error})")
     finally:
         _export_observability(args, [pipeline.context.as_dict()])
-    return 0
+    return 1 if failed else 0
 
 
 # -- the parser ---------------------------------------------------------------
@@ -302,6 +343,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for suite evaluation (1 = serial)")
+    p.add_argument("--deadline-ms", type=float, default=0.0,
+                   help="wall-clock solve budget per scheduling attempt "
+                        "(0 = unlimited)")
+    p.add_argument("--allow-degraded", action="store_true",
+                   help="exit 0 even when operators compiled at reduced "
+                        "quality via the degradation ladder")
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_table2)
 
@@ -316,6 +363,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--max-threads", type=int, default=256)
+    p.add_argument("--deadline-ms", type=float, default=0.0,
+                   help="wall-clock solve budget per scheduling attempt "
+                        "(0 = unlimited)")
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_profile)
     return parser
@@ -334,6 +384,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         logger.error("error: %s", exc)
         return 2
+    except ReproError as exc:
+        logger.error("%s: %s", type(exc).__name__, exc)
+        return 1
 
 
 if __name__ == "__main__":

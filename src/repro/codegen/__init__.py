@@ -13,11 +13,11 @@
 """
 
 from repro.codegen.ast import Guard, Loop, Seq, StatementCall
-from repro.codegen.generate import generate_ast
+from repro.codegen.generate import CodegenError, generate_ast
 from repro.codegen.cuda import MappedKernel, map_to_gpu
 from repro.codegen.vectorize import vectorize
 
 __all__ = [
-    "Guard", "Loop", "Seq", "StatementCall",
+    "Guard", "Loop", "Seq", "StatementCall", "CodegenError",
     "generate_ast", "MappedKernel", "map_to_gpu", "vectorize",
 ]

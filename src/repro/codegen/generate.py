@@ -24,6 +24,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.codegen.ast import Guard, Loop, Seq, StatementCall
+from repro.errors import CodegenError
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
 from repro.linalg.matrix import Matrix
@@ -31,9 +32,7 @@ from repro.schedule.functions import Schedule, ScheduleRow
 from repro.sets.polyhedron import Polyhedron
 from repro.solver.problem import Constraint, LinExpr, var
 
-
-class CodegenError(Exception):
-    """The schedule's shape is outside the generator's supported class."""
+__all__ = ["CodegenError", "generate_ast", "time_var"]
 
 
 def time_var(dim: int) -> str:
@@ -221,11 +220,15 @@ def _generate(items: list[_TimeDomainItem], dim: int, n_dims: int,
     before_items: list[_TimeDomainItem] = []
     after_items: list[_TimeDomainItem] = []
     inside_items: list[_TimeDomainItem] = []
+    # A plain loop runs max(lowers)..min(uppers), so being outside any one
+    # bound puts the scalar point outside the loop; a union loop runs
+    # min(lowers)..max(uppers), so it must be outside *every* bound.
+    bound_quantifier = all if union else any
     for item, value in guarded_items:
-        strictly_before = any(
+        strictly_before = bound_quantifier(
             item.polyhedron.with_constraints([value - low >= 0]).is_empty()
             for low in lowers)
-        strictly_after = any(
+        strictly_after = bound_quantifier(
             item.polyhedron.with_constraints([value - up <= 0]).is_empty()
             for up in uppers)
         if strictly_before:

@@ -1,0 +1,46 @@
+"""Structured exception taxonomy for the compilation stack.
+
+Every failure the pipeline can recover from derives from
+:class:`ReproError`, so callers (the degradation ladder in
+``repro.pipeline.akg``, the evaluation runner, the CLI) can catch one
+base class and discriminate on the concrete type:
+
+* :class:`SchedulingError` — the scheduler exhausted its backtracking
+  ladder without a complete valid schedule.
+* :class:`SolverTimeout` — a :class:`~repro.solver.budget.SolveBudget`
+  (wall-clock deadline, pivot or node allowance) expired mid-solve.
+* :class:`BranchLimitExceeded` — one branch-and-bound call explored more
+  nodes than its per-call ``max_nodes`` cap.
+* :class:`CodegenError` — AST generation could not order statement
+  instances under the produced schedule.
+
+This module is a leaf: it imports nothing from ``repro`` so every layer
+(solver, sets, scheduler, codegen, pipeline, eval) can depend on it
+without cycles.  The historical definition sites re-export these names
+(``repro.schedule.scheduler.SchedulingError``,
+``repro.solver.ilp.BranchLimitExceeded``,
+``repro.codegen.generate.CodegenError``), so existing imports keep
+working and ``isinstance`` checks agree across old and new spellings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every recoverable compilation-stack failure."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not construct a complete valid schedule."""
+
+
+class SolverTimeout(ReproError):
+    """A solve budget (deadline / pivot / node allowance) was exhausted."""
+
+
+class BranchLimitExceeded(ReproError):
+    """Branch and bound explored more nodes than one call allows."""
+
+
+class CodegenError(ReproError):
+    """AST generation failed to realize the schedule as loops."""

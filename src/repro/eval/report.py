@@ -14,7 +14,11 @@ import json
 from typing import Iterable, Mapping
 
 from repro.eval.runner import NetworkResult
-from repro.eval.tables import geomean_speedup, table2_row
+from repro.eval.tables import (
+    format_degradation_summary,
+    geomean_speedup,
+    table2_row,
+)
 from repro.pipeline.passes import format_pass_summary, merge_metric_dicts
 
 CSV_FIELDS = [
@@ -22,11 +26,22 @@ CSV_FIELDS = [
     "isl_us", "tvm_us", "novec_us", "infl_us",
     "speedup_tvm", "speedup_novec", "speedup_infl",
     "launches_isl", "launches_infl",
+    "status", "degradation",
 ]
 
 
+def _us(op, variant: str):
+    time = op.times.get(variant)
+    return round(time * 1e6, 2) if time is not None else ""
+
+
+def _speedup(op, variant: str):
+    value = op.speedup(variant)
+    return round(value, 3) if value == value else ""  # blank for NaN
+
+
 def operators_csv(results: Iterable[NetworkResult]) -> str:
-    """One CSV row per fused operator."""
+    """One CSV row per fused operator (failed variants leave blank cells)."""
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
     writer.writeheader()
@@ -38,15 +53,18 @@ def operators_csv(results: Iterable[NetworkResult]) -> str:
                 "op_class": op.op_class,
                 "influenced": int(op.influenced),
                 "vectorized": int(op.vectorized),
-                "isl_us": round(op.times["isl"] * 1e6, 2),
-                "tvm_us": round(op.times["tvm"] * 1e6, 2),
-                "novec_us": round(op.times["novec"] * 1e6, 2),
-                "infl_us": round(op.times["infl"] * 1e6, 2),
-                "speedup_tvm": round(op.speedup("tvm"), 3),
-                "speedup_novec": round(op.speedup("novec"), 3),
-                "speedup_infl": round(op.speedup("infl"), 3),
-                "launches_isl": op.launches["isl"],
-                "launches_infl": op.launches["infl"],
+                "isl_us": _us(op, "isl"),
+                "tvm_us": _us(op, "tvm"),
+                "novec_us": _us(op, "novec"),
+                "infl_us": _us(op, "infl"),
+                "speedup_tvm": _speedup(op, "tvm"),
+                "speedup_novec": _speedup(op, "novec"),
+                "speedup_infl": _speedup(op, "infl"),
+                "launches_isl": op.launches.get("isl", ""),
+                "launches_infl": op.launches.get("infl", ""),
+                "status": op.status,
+                "degradation": ";".join(f"{v}={level}" for v, level
+                                        in sorted(op.degradation.items())),
             })
     return buffer.getvalue()
 
@@ -70,6 +88,11 @@ def markdown_summary(results: Iterable[NetworkResult]) -> str:
     lines.append("")
     lines.append(f"geomean influenced speedup: "
                  f"{geomean_speedup(results):.2f}x")
+    if any(r.count_degraded or r.count_failed for r in results):
+        lines.append("")
+        lines.append("```")
+        lines.append(format_degradation_summary(results))
+        lines.append("```")
     merged = merge_metric_dicts([r.metrics for r in results if r.metrics])
     if merged.get("passes"):
         lines.append("")
@@ -95,6 +118,9 @@ def json_dump(results: Mapping[str, NetworkResult]) -> str:
                     "vectorized": op.vectorized,
                     "times_us": {v: t * 1e6 for v, t in op.times.items()},
                     "launches": op.launches,
+                    "status": op.status,
+                    "degradation": op.degradation,
+                    "error": op.error,
                 }
                 for op in result.operators
             ],

@@ -16,21 +16,39 @@ regenerating its kernels deterministically from ``(network, seed, limit)``
 so no IR crosses process boundaries, and the per-worker pass metrics are
 merged into one report.  The compilation model is deterministic, so the
 parallel path produces bitwise-identical results to the serial one.
+
+Failures are isolated per operator: a typed compilation failure
+(:class:`~repro.errors.ReproError`) marks that operator's
+:attr:`OperatorResult.status` ``failed`` (or ``degraded`` when the
+pipeline's fallback ladder produced a lower-quality result) instead of
+aborting the run, and operators lost to a dead worker process
+(``BrokenProcessPool``) are retried serially in the parent — fault
+decisions are content-keyed (:mod:`repro.faultinject`), so serial and
+parallel runs produce identical degradation records.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.errors import ReproError
+from repro.faultinject import fault_action
 from repro.gpu.arch import GpuArch, V100
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
+from repro.obs import logger
 from repro.pipeline.akg import AkgPipeline, VARIANTS
 from repro.pipeline.passes import PassContext, merge_metric_dicts
+from repro.schedule.scheduler import SchedulerOptions
+from repro.solver.budget import SolveBudget
 from repro.workloads.generator import generate_network_suite
 from repro.workloads.networks import NETWORKS
+
+OPERATOR_STATUSES = ("ok", "degraded", "failed")
 
 
 @dataclass
@@ -42,9 +60,10 @@ class EvaluationConfig:
     sample_blocks: int = 8
     max_threads: int = 256
     arch: GpuArch = V100
-    weights: CostWeights = CostWeights()
+    weights: CostWeights = field(default_factory=CostWeights)
     jobs: int = 1          # worker processes; 1 = serial (deterministic tests)
     trace: bool = False    # record structured pass-trace events
+    deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
 
 
 @dataclass
@@ -53,17 +72,21 @@ class OperatorResult:
 
     name: str
     op_class: str
-    times: dict  # variant -> seconds
+    times: dict  # variant -> seconds (absent for failed variants)
     influenced: bool
     vectorized: bool
     launches: dict  # variant -> number of kernel launches
     scheduler_stats: dict = field(default_factory=dict)
+    status: str = "ok"          # one of OPERATOR_STATUSES
+    degradation: dict = field(default_factory=dict)  # variant -> rung
+    error: str = ""             # "variant: ExcType: message; ..." when failed
 
     def speedup(self, variant: str) -> float:
-        other = self.times[variant]
-        if not other:
+        base = self.times.get("isl")
+        other = self.times.get(variant)
+        if base is None or not other:
             return float("nan")
-        return self.times["isl"] / other
+        return base / other
 
 
 @dataclass
@@ -88,48 +111,98 @@ class NetworkResult:
     def count_influenced(self) -> int:
         return sum(1 for op in self.operators if op.influenced)
 
+    # -- resilience aggregates ----------------------------------------------
+
+    @property
+    def count_ok(self) -> int:
+        return sum(1 for op in self.operators if op.status == "ok")
+
+    @property
+    def count_degraded(self) -> int:
+        return sum(1 for op in self.operators if op.status == "degraded")
+
+    @property
+    def count_failed(self) -> int:
+        return sum(1 for op in self.operators if op.status == "failed")
+
+    def _ops_with(self, *variants: str,
+                  influenced_only: bool = False) -> list[OperatorResult]:
+        return [op for op in self.operators
+                if all(v in op.times for v in variants)
+                and (not influenced_only or op.influenced)]
+
     def total_time(self, variant: str, influenced_only: bool = False) -> float:
-        ops = [op for op in self.operators
-               if not influenced_only or op.influenced]
+        ops = self._ops_with(variant, influenced_only=influenced_only)
         return sum(op.times[variant] for op in ops)
 
     def speedup(self, variant: str, influenced_only: bool = False) -> float:
-        base = self.total_time("isl", influenced_only)
-        other = self.total_time(variant, influenced_only)
+        # Both totals over the same operators (those with both variants
+        # measured), so partially-failed operators do not bias the ratio.
+        ops = self._ops_with("isl", variant, influenced_only=influenced_only)
+        base = sum(op.times["isl"] for op in ops)
+        other = sum(op.times[variant] for op in ops)
         return base / other if other else float("nan")
 
 
 def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
+    options = None
+    if config.deadline_ms:
+        options = SchedulerOptions(budget=SolveBudget(
+            deadline_s=config.deadline_ms / 1000.0))
     return AkgPipeline(arch=config.arch, max_threads=config.max_threads,
                        sample_blocks=config.sample_blocks,
-                       weights=config.weights, trace=config.trace)
+                       weights=config.weights,
+                       scheduler_options=options,
+                       trace=config.trace)
 
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
                       kernel: Kernel) -> OperatorResult:
-    """Compile and measure one fused operator under all four variants."""
+    """Compile and measure one fused operator under all four variants.
+
+    Typed failures are contained per variant: a variant whose whole
+    degradation ladder failed is simply absent from ``times`` and the
+    operator is marked ``failed``; a variant produced by a lower ladder
+    rung marks it ``degraded``.
+    """
     times: dict[str, float] = {}
     launches: dict[str, int] = {}
     signatures: dict[str, str] = {}
     stats: dict[str, list] = {}
+    degradation: dict[str, str] = {}
+    errors: list[str] = []
     vectorized = False
     for variant in VARIANTS:
-        compiled = pipeline.compile(kernel, variant)
+        try:
+            compiled = pipeline.compile(kernel, variant)
+        except ReproError as exc:
+            errors.append(f"{variant}: {type(exc).__name__}: {exc}")
+            pipeline.context.count("resilience.variant_failures")
+            logger.warning("operator %s variant %s failed: %s",
+                           name, variant, exc)
+            continue
         timing = pipeline.measure(compiled)
         times[variant] = timing.time
         launches[variant] = compiled.n_launches
         signatures[variant] = compiled.signature()
         stats[variant] = compiled.scheduler_stats
+        if compiled.degradation != "none":
+            degradation[variant] = compiled.degradation
         if variant == "infl":
             vectorized = compiled.vectorized
+    status = "failed" if errors else ("degraded" if degradation else "ok")
     return OperatorResult(
         name=name,
         op_class=op_class,
         times=times,
-        influenced=signatures["isl"] != signatures["infl"],
+        influenced="isl" in signatures and "infl" in signatures
+                   and signatures["isl"] != signatures["infl"],
         vectorized=vectorized,
         launches=launches,
         scheduler_stats=stats,
+        status=status,
+        degradation=degradation,
+        error="; ".join(errors),
     )
 
 
@@ -137,9 +210,20 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
 
 # Per-worker-process state: the suites are deterministic functions of
 # (network, seed, limit), and one long-lived pipeline keeps the schedule
-# cache warm across the operators a worker picks up.
+# cache warm across the operators a worker picks up.  Pipelines are keyed
+# by the config's repr so retries in the parent — where several configs
+# may pass through one process — never reuse a mismatched pipeline.
 _WORKER_SUITES: dict[tuple, list] = {}
-_WORKER_PIPELINE: list = []
+_WORKER_PIPELINES: dict[str, AkgPipeline] = {}
+
+# True only in pool worker processes (set by the pool initializer), so
+# injected worker crashes never fire during the parent's serial retry.
+_IS_WORKER = False
+
+
+def _mark_worker_process() -> None:
+    global _IS_WORKER
+    _IS_WORKER = True
 
 
 def _worker_suite(network: str, seed: int, limit: Optional[int]) -> list:
@@ -157,12 +241,16 @@ def _evaluate_index(network: str, config: EvaluationConfig,
     Returns ``(index, OperatorResult, pass-metrics dict)``; the context is
     reset per operator so the caller can merge snapshots without
     double-counting."""
-    if not _WORKER_PIPELINE:
-        _WORKER_PIPELINE.append(_make_pipeline(config))
-    pipeline = _WORKER_PIPELINE[0]
+    pipeline_key = repr(config)
+    if pipeline_key not in _WORKER_PIPELINES:
+        _WORKER_PIPELINES[pipeline_key] = _make_pipeline(config)
+    pipeline = _WORKER_PIPELINES[pipeline_key]
     pipeline.session.context = PassContext(trace=config.trace)
     op_class, kernel = _worker_suite(network, config.seed,
                                      config.limit_per_network)[index]
+    if _IS_WORKER and fault_action("worker", network=network,
+                                   kernel=kernel.name) == "crash":
+        os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
     result = evaluate_operator(pipeline, kernel.name, op_class, kernel)
     return index, result, pipeline.context.as_dict()
 
@@ -174,6 +262,10 @@ def _evaluate_parallel(tasks: list[tuple[str, int]],
     """Run ``(network, index)`` tasks over a process pool.
 
     Returns ``{network: (operator results in suite order, metric dicts)}``.
+    Tasks lost to a dead worker (``BrokenProcessPool``) are retried
+    serially in the parent after the pool winds down; the compilation
+    model is deterministic, so retried items produce the same results a
+    healthy worker would have.
     """
     per_network: dict[str, tuple[list, list]] = {}
     counts: dict[str, int] = {}
@@ -181,17 +273,46 @@ def _evaluate_parallel(tasks: list[tuple[str, int]],
         counts[network] = counts.get(network, 0) + 1
     for network, count in counts.items():
         per_network[network] = ([None] * count, [])
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(_evaluate_index, network, config, index):
-                   network for network, index in tasks}
+    broken: list[tuple[str, int]] = []
+    with ProcessPoolExecutor(max_workers=jobs,
+                             initializer=_mark_worker_process) as pool:
+        futures = {}
+        try:
+            for network, index in tasks:
+                futures[pool.submit(_evaluate_index, network, config,
+                                    index)] = (network, index)
+        except BrokenProcessPool:
+            # Pool died mid-submission: everything not yet submitted goes
+            # straight to the serial retry list.
+            submitted = set(futures.values())
+            broken.extend(t for t in tasks if t not in submitted)
         for future in as_completed(futures):
-            network = futures[future]
-            index, result, metrics = future.result()
+            network, index = futures[future]
+            try:
+                index, result, metrics = future.result()
+            except BrokenProcessPool:
+                broken.append((network, index))
+                continue
             results, metric_dicts = per_network[network]
             results[index] = result
             metric_dicts.append(metrics)
             if progress:
                 progress(f"{network}: {result.name}")
+    if broken:
+        logger.warning("worker pool broke; retrying %d operator(s) "
+                       "serially in the parent", len(broken))
+        for network, index in sorted(broken):
+            index, result, metrics = _evaluate_index(network, config, index)
+            results, metric_dicts = per_network[network]
+            results[index] = result
+            metric_dicts.append(metrics)
+            if progress:
+                progress(f"{network}: {result.name} (retried)")
+        # Surface the retries in the merged report.  Kept in its own
+        # snapshot: every other counter stays identical to a serial run.
+        first = broken[0][0]
+        per_network[first][1].append(
+            {"counters": {"resilience.worker_retries": float(len(broken))}})
     return per_network
 
 
@@ -236,6 +357,8 @@ def evaluate_all(config: Optional[EvaluationConfig] = None,
 
     With ``jobs > 1`` all operators of all requested networks share one
     process pool, so small suites do not serialize behind large ones.
+    Per-operator failures are contained in ``OperatorResult.status``; this
+    function only raises for non-compilation errors (genuine bugs).
     """
     config = config or EvaluationConfig()
     n_jobs = config.jobs if jobs is None else jobs

@@ -83,6 +83,45 @@ def format_table2(results: Iterable[NetworkResult]) -> str:
     return "\n".join(lines)
 
 
+def degradation_row(result: NetworkResult) -> dict:
+    """Per-network resilience counts (ok/degraded/failed + activations)."""
+    counters = result.metrics.get("counters", {}) if result.metrics else {}
+    return {
+        "network": result.network,
+        "ok": result.count_ok,
+        "degraded": result.count_degraded,
+        "failed": result.count_failed,
+        "fallbacks": int(counters.get("resilience.fallback", 0)),
+        "worker_retries": int(counters.get("resilience.worker_retries", 0)),
+    }
+
+
+def format_degradation_summary(results: Iterable[NetworkResult]) -> str:
+    """Per-network degradation summary: how many operators compiled at
+    full quality, how many rode the fallback ladder, how many failed —
+    so quality loss is visible next to the Table II numbers."""
+    results = list(results)
+    lines = ["degradation summary (per network):",
+             f"  {'network':<14}{'ok':>5}{'degraded':>10}{'failed':>8}"
+             f"{'fallbacks':>11}{'retries':>9}"]
+    for result in results:
+        row = degradation_row(result)
+        lines.append(f"  {row['network']:<14}{row['ok']:>5}"
+                     f"{row['degraded']:>10}{row['failed']:>8}"
+                     f"{row['fallbacks']:>11}{row['worker_retries']:>9}")
+    for result in results:
+        for op in result.operators:
+            if op.status == "degraded":
+                rungs = ", ".join(f"{v}={level}" for v, level
+                                  in sorted(op.degradation.items()))
+                lines.append(f"    {result.network}/{op.name}: "
+                             f"degraded ({rungs})")
+            elif op.status == "failed":
+                lines.append(f"    {result.network}/{op.name}: "
+                             f"FAILED ({op.error})")
+    return "\n".join(lines)
+
+
 def geomean_speedup(results: Iterable[NetworkResult],
                     variant: str = "infl") -> float:
     """Geometric-mean speedup over networks (the paper's 1.7x headline)."""

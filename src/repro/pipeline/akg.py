@@ -14,12 +14,13 @@ from typing import Optional
 
 from repro.codegen.cuda import MappedKernel
 from repro.codegen.ast import Loop, walk
+from repro.errors import ReproError
 from repro.gpu.arch import GpuArch, V100
 from repro.gpu.simulator import KernelProfile, simulate_kernel
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
-from repro.obs import use_obs
+from repro.obs import logger, use_obs
 from repro.pipeline.cache import ScheduleCache
 from repro.pipeline.passes import (
     CompilationSession,
@@ -30,6 +31,11 @@ from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
 
 VARIANTS = ("isl", "tvm", "novec", "infl")
 
+# Graceful-degradation rungs, best first: full-quality variant, the same
+# clustering without influence constraints, then the plain isl-style
+# baseline compile.  (The `isl` variant has nothing to degrade to.)
+DEGRADATION_LEVELS = ("none", "no-influence", "isl-baseline")
+
 
 @dataclass
 class CompiledOperator:
@@ -39,6 +45,7 @@ class CompiledOperator:
     variant: str
     launches: list[MappedKernel]
     scheduler_stats: list[SchedulerStats] = field(default_factory=list)
+    degradation: str = "none"  # one of DEGRADATION_LEVELS
 
     @property
     def n_launches(self) -> int:
@@ -120,7 +127,7 @@ class AkgPipeline:
 
     def __init__(self, arch: GpuArch = V100, max_threads: int = 256,
                  sample_blocks: int = 8,
-                 weights: CostWeights = CostWeights(),
+                 weights: Optional[CostWeights] = None,
                  scheduler_options: Optional[SchedulerOptions] = None,
                  cache: Optional[ScheduleCache] = None,
                  enable_cache: bool = True,
@@ -128,7 +135,8 @@ class AkgPipeline:
         self.arch = arch
         self.max_threads = max_threads
         self.sample_blocks = sample_blocks
-        self.weights = weights
+        self.weights = weights = \
+            weights if weights is not None else CostWeights()
         self.scheduler_options = scheduler_options or SchedulerOptions()
         self.cache = cache if cache is not None \
             else (ScheduleCache() if enable_cache else None)
@@ -145,22 +153,37 @@ class AkgPipeline:
 
     # -- compilation --------------------------------------------------------
 
-    def compile(self, kernel: Kernel, variant: str) -> CompiledOperator:
-        if variant not in VARIANTS:
-            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
-        if variant == "isl":
-            clusters = _adjacent_clusters(kernel)
-            influence, enable_vec = False, False
-        elif variant == "tvm":
-            clusters = [[s] for s in kernel.statements]
-            influence, enable_vec = True, False
-        else:  # novec / infl: whole-kernel influenced compilation.
-            clusters = None
-            influence, enable_vec = True, variant == "infl"
-        passes = variant_passes(influence=influence, enable_vec=enable_vec)
+    def _attempts(self, kernel: Kernel, variant: str) -> list[tuple]:
+        """The degradation ladder for ``variant``, best rung first.
 
+        Each entry is ``(level, tag, clusters, influence, enable_vec)``:
+        ``tag`` is the variant label the compilation session (and the
+        ``compile`` fault-injection site) sees for that rung.  The
+        ``isl-baseline`` rung is tagged ``isl`` so it shares schedule
+        cache entries — and compiled output — with the actual ``isl``
+        baseline compile of the same operator.
+        """
+        isl_rung = ("isl-baseline", "isl", _adjacent_clusters(kernel),
+                    False, False)
+        if variant == "isl":
+            return [("none", "isl", _adjacent_clusters(kernel), False, False)]
+        if variant == "tvm":
+            per_stmt = [[s] for s in kernel.statements]
+            return [("none", "tvm", per_stmt, True, False),
+                    ("no-influence", "tvm", per_stmt, False, False),
+                    isl_rung]
+        # novec / infl: whole-kernel influenced compilation.
+        enable_vec = variant == "infl"
+        return [("none", variant, None, True, enable_vec),
+                ("no-influence", variant, None, False, enable_vec),
+                isl_rung]
+
+    def _compile_once(self, kernel: Kernel, variant: str, tag: str,
+                      clusters, influence: bool,
+                      enable_vec: bool) -> CompiledOperator:
+        passes = variant_passes(influence=influence, enable_vec=enable_vec)
         if clusters is None:
-            state = self.session.run(kernel, passes, variant=variant)
+            state = self.session.run(kernel, passes, variant=tag)
             return CompiledOperator(kernel=kernel, variant=variant,
                                     launches=[state.mapped],
                                     scheduler_stats=[state.scheduler_stats])
@@ -168,11 +191,47 @@ class AkgPipeline:
         stats = []
         for index, cluster in enumerate(clusters):
             sub = _sub_kernel(kernel, cluster, f"_k{index}")
-            state = self.session.run(sub, passes, variant=variant)
+            state = self.session.run(sub, passes, variant=tag)
             launches.append(state.mapped)
             stats.append(state.scheduler_stats)
         return CompiledOperator(kernel=kernel, variant=variant,
                                 launches=launches, scheduler_stats=stats)
+
+    def compile(self, kernel: Kernel, variant: str) -> CompiledOperator:
+        """Compile under ``variant``, degrading gracefully on failure.
+
+        Typed failures (:class:`~repro.errors.ReproError`: solver
+        timeouts, scheduling dead ends, codegen limits) descend the
+        ladder from :meth:`_attempts`; the result records the rung it was
+        produced at in ``CompiledOperator.degradation``.  Only when every
+        rung fails does the last error propagate to the caller.
+        """
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        attempts = self._attempts(kernel, variant)
+        last_error: Optional[ReproError] = None
+        for level, tag, clusters, influence, enable_vec in attempts:
+            try:
+                compiled = self._compile_once(kernel, variant, tag, clusters,
+                                              influence, enable_vec)
+            except ReproError as exc:
+                last_error = exc
+                context = self.session.context
+                context.count("resilience.fallback")
+                context.record("resilience.fallback", kernel=kernel.name,
+                               variant=variant, failed_level=level,
+                               error=f"{type(exc).__name__}: {exc}")
+                logger.warning("%s/%s: %s at degradation level %r; "
+                               "descending the ladder",
+                               kernel.name, variant,
+                               type(exc).__name__, level)
+                continue
+            compiled.degradation = level
+            if level != "none":
+                self.session.context.count("resilience.degraded")
+            return compiled
+        assert last_error is not None
+        raise last_error
 
     # -- measurement -----------------------------------------------------------
 

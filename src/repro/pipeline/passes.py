@@ -27,6 +27,7 @@ from repro.codegen.generate import generate_ast
 from repro.codegen.tiling import tile_band
 from repro.codegen.vectorize import vectorize
 from repro.deps.analysis import compute_dependences
+from repro.faultinject import fault_action, raise_fault
 from repro.influence.builder import build_influence_tree
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
@@ -362,13 +363,13 @@ class CompilationSession:
     """
 
     def __init__(self, options: Optional[SchedulerOptions] = None,
-                 weights: CostWeights = CostWeights(),
+                 weights: Optional[CostWeights] = None,
                  max_threads: int = 256,
                  cache=None,
                  context: Optional[PassContext] = None,
                  trace: bool = False):
         self.options = options or SchedulerOptions()
-        self.weights = weights
+        self.weights = weights if weights is not None else CostWeights()
         self.max_threads = max_threads
         self.cache = cache
         self.context = context or PassContext(trace=trace)
@@ -385,6 +386,15 @@ class CompilationSession:
         with use_obs(self.context.obs), \
                 self.context.obs.span("compile", kernel=kernel.name,
                                       variant=variant):
+            # Fault-injection site: sits BEFORE the cache lookup so an
+            # injected failure fires even when the schedule-producing
+            # prefix would be served from cache (the `infl` variant
+            # usually hits the entry stored by `novec`).
+            action = fault_action("compile", kernel=kernel.name,
+                                  variant=variant, influence=influence)
+            if action is not None:
+                raise_fault(action, "compile", kernel=kernel.name,
+                            variant=variant, influence=influence)
             key = None
             if self.cache is not None \
                     and any(getattr(p, "cacheable", False) for p in passes):

@@ -22,6 +22,7 @@ reruns without influence constraints — its output is then that of the plain
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
@@ -29,6 +30,8 @@ from typing import Iterable, Optional, Sequence
 from repro.deps.analysis import compute_dependences
 from repro.deps.graph import DependenceGraph
 from repro.deps.relation import DependenceRelation
+from repro.errors import BranchLimitExceeded, SchedulingError
+from repro.faultinject import fault_action, raise_fault
 from repro.influence.tree import InfluenceTree, TreeCursor, parse_theta
 from repro.ir.kernel import Kernel
 from repro.obs.runtime import NULL_OBS, get_obs
@@ -40,11 +43,11 @@ from repro.schedule.constraints import (
     param_coeff_name,
 )
 from repro.schedule.functions import DimensionInfo, Schedule, ScheduleRow
+from repro.solver.budget import SolveBudget, use_budget
 from repro.solver.problem import Constraint, LinExpr
 
-
-class SchedulingError(Exception):
-    """The scheduler could not construct a complete valid schedule."""
+__all__ = ["SchedulingError", "SchedulerOptions", "SchedulerStats",
+           "InfluencedScheduler"]
 
 
 class _RestartWithoutInfluence(Exception):
@@ -62,6 +65,9 @@ class SchedulerOptions:
     textual_tie_break: bool = True  # prefer original loop order on cost ties
     max_iterations: int = 400
     max_ilp_nodes: int = 60_000
+    # Optional cumulative work budget per construction attempt; exhausting
+    # it raises SolverTimeout (see repro.solver.budget for the semantics).
+    budget: Optional[SolveBudget] = None
 
 
 @dataclass
@@ -80,6 +86,7 @@ class SchedulerStats:
     influence_nodes_applied: int = 0
     influence_abandoned: bool = False
     progression_drops: int = 0
+    branch_limit_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain mapping, ready for pass-context aggregation
@@ -115,16 +122,28 @@ class InfluencedScheduler:
         with self._obs.span("scheduler.schedule", kernel=self.kernel.name,
                             influenced=tree is not None) as span:
             try:
-                result = self._construct(tree)
+                with self._budget_scope():
+                    result = self._construct(tree)
             except _RestartWithoutInfluence:
                 self.stats.influence_abandoned = True
                 self._obs.event("scheduler.backtrack", kind="abandon-influence",
                                 kernel=self.kernel.name)
-                result = self._construct(None)
+                with self._budget_scope():
+                    result = self._construct(None)
             span.set(dimensions=result.n_dims,
                      ilp_solves=self.stats.ilp_solves)
         annotate_parallelism(result, self.validity_relations)
         return result
+
+    def _budget_scope(self):
+        """An ambient-budget context for one construction attempt.
+
+        Each attempt (influenced, and the restart without influence)
+        gets a fresh countdown so the restart is not charged for the
+        abandoned attempt's spending."""
+        if self.options.budget is None:
+            return nullcontext()
+        return use_budget(self.options.budget.start())
 
     # -- construction -----------------------------------------------------------
 
@@ -270,10 +289,34 @@ class InfluencedScheduler:
                         name, lower=0, upper=self.options.coeff_bound)
         extra = self._tie_break_objectives(statements) \
             if self.options.textual_tie_break else []
+        action = fault_action("scheduler.dimension",
+                              kernel=self.kernel.name, dim=schedule.n_dims,
+                              coincidence=coincidence)
+        if action == "infeasible":
+            # Injected infeasibility: report the dimension unsolvable so
+            # the backtracking ladder (sibling/permutability/SCC) runs.
+            self._obs.event("scheduler.ilp-solve", dim=schedule.n_dims,
+                            coincidence=coincidence,
+                            progression=with_progression,
+                            feasible=False, injected=True)
+            return None
+        if action is not None:
+            raise_fault(action, "scheduler.dimension",
+                        kernel=self.kernel.name, dim=schedule.n_dims)
         self.stats.ilp_solves += 1
-        rows = problem.solve(extra_objectives=extra,
-                             injected_objectives=injected,
-                             max_nodes=self.options.max_ilp_nodes)
+        try:
+            rows = problem.solve(extra_objectives=extra,
+                                 injected_objectives=injected,
+                                 max_nodes=self.options.max_ilp_nodes)
+        except BranchLimitExceeded:
+            # A degenerate per-dimension ILP is treated like infeasibility:
+            # backtrack rather than abort the whole construction.
+            self.stats.branch_limit_hits += 1
+            self._obs.event("scheduler.ilp-solve", dim=schedule.n_dims,
+                            coincidence=coincidence,
+                            progression=with_progression,
+                            feasible=False, branch_limit=True)
+            return None
         self._obs.event("scheduler.ilp-solve", dim=schedule.n_dims,
                         coincidence=coincidence,
                         progression=with_progression,
@@ -354,13 +397,22 @@ class InfluencedScheduler:
                 new_band = schedule.dims[-1].band if schedule.dims else 0
                 return ancestor, schedule, list(saved_active), new_band
 
-        # (5) separate strongly connected components.
+        # (5) separate strongly connected components.  A separation only
+        # helps if ordering the components strongly satisfies (and thereby
+        # retires) at least one dependence; otherwise the next dimension
+        # problem fails for the very same reason and the ladder would loop
+        # appending scalar dimensions until max_iterations — withdraw the
+        # fruitless dimension and fall through to the final rung instead.
         if self._separate_sccs(schedule, active, band + 1):
-            self._obs.event("scheduler.backtrack", kind="scc-separation",
-                            dim=schedule.n_dims)
             remaining = [r for r in active
                          if satisfaction_depth(r, schedule) is None]
-            return cursor, schedule, remaining, band + 1
+            if len(remaining) < len(active):
+                self._obs.event("scheduler.backtrack", kind="scc-separation",
+                                dim=schedule.n_dims)
+                return cursor, schedule, remaining, band + 1
+            schedule.drop_dimensions_from(schedule.n_dims - 1)
+            self.stats.scc_separations -= 1
+            self.stats.dimensions_built -= 1
 
         # Ultimately: drop influence entirely.
         if cursor is not None:

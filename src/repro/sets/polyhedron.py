@@ -16,6 +16,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
+from repro.obs.logutil import logger
+from repro.obs.runtime import get_obs
 from repro.solver.ilp import BranchLimitExceeded, integer_feasible
 from repro.solver.lp import LinearProgram, LPStatus, solve_lp
 from repro.solver.problem import Constraint, LinExpr, var
@@ -139,7 +141,19 @@ class Polyhedron:
         try:
             return not integer_feasible(lp, max_nodes=max_nodes)
         except BranchLimitExceeded:
-            return False  # rational-feasible; conservatively report non-empty
+            # Rational-feasible but the integer search blew its node cap:
+            # conservatively report non-empty (at worst a spurious
+            # dependence survives).  Surface the give-up instead of
+            # swallowing it silently — a set that triggers this repeatedly
+            # is a scheduler-performance smell.
+            obs = get_obs()
+            if obs.metrics.enabled:
+                obs.metrics.count("sets.emptiness_branch_limit")
+            logger.warning(
+                "emptiness test hit the %d-node branch-and-bound cap on a "
+                "%d-dim set over %s (%d constraints); assuming non-empty",
+                max_nodes, len(self.dims), self.dims, len(self.constraints))
+            return False
 
     def contains(self, point: dict[str, Fraction]) -> bool:
         """True iff ``point`` (a full assignment) satisfies every constraint."""

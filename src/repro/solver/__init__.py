@@ -10,10 +10,14 @@ library.  It provides:
   the optimization mode used by isl's scheduler and by Algorithm 1.
 * :mod:`repro.solver.problem` — a named-variable problem builder with a small
   linear-expression DSL, used by the constraint builders.
+* :mod:`repro.solver.budget` — ambient wall-clock/pivot/node budgets; the
+  hot loops above charge against the active budget and raise a typed
+  :class:`repro.errors.SolverTimeout` when it runs out.
 """
 
+from repro.solver.budget import SolveBudget, get_budget, use_budget
 from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
-from repro.solver.ilp import solve_ilp, integer_feasible
+from repro.solver.ilp import BranchLimitExceeded, solve_ilp, integer_feasible
 from repro.solver.lexmin import lexicographic_minimize
 from repro.solver.problem import LinExpr, Constraint, Problem, var
 
@@ -24,9 +28,13 @@ __all__ = [
     "solve_lp",
     "solve_ilp",
     "integer_feasible",
+    "BranchLimitExceeded",
     "lexicographic_minimize",
     "LinExpr",
     "Constraint",
     "Problem",
     "var",
+    "SolveBudget",
+    "get_budget",
+    "use_budget",
 ]

@@ -13,8 +13,12 @@ from dataclasses import replace
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from repro.errors import BranchLimitExceeded
 from repro.obs.runtime import get_obs
+from repro.solver.budget import get_budget
 from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
+
+__all__ = ["BranchLimitExceeded", "solve_ilp", "integer_feasible"]
 
 
 def _report_bb_nodes(nodes: int) -> None:
@@ -23,10 +27,6 @@ def _report_bb_nodes(nodes: int) -> None:
     if metrics.enabled:
         metrics.count("solver.ilp_solves")
         metrics.count("solver.bb_nodes", nodes)
-
-
-class BranchLimitExceeded(Exception):
-    """Raised when branch and bound explores more nodes than allowed."""
 
 
 def _is_integral(value: Fraction) -> bool:
@@ -69,6 +69,9 @@ def solve_ilp(lp: LinearProgram,
             nodes += 1
             if nodes > max_nodes:
                 raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+            budget = get_budget()
+            if budget is not None:
+                budget.charge_node()
             node_lp = replace(lp, lower=list(lower), upper=list(upper))
             result = solve_lp(node_lp)
             if result.status is not LPStatus.OPTIMAL:
@@ -120,6 +123,9 @@ def integer_feasible(lp: LinearProgram,
             nodes += 1
             if nodes > max_nodes:
                 raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
+            budget = get_budget()
+            if budget is not None:
+                budget.charge_node()
             node_lp = replace(zero_obj, lower=list(lower), upper=list(upper))
             result = solve_lp(node_lp)
             if result.status is not LPStatus.OPTIMAL:

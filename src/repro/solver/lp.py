@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.linalg.rational import frac
 from repro.obs.runtime import get_obs
+from repro.solver.budget import get_budget
 
 
 class LPStatus(enum.Enum):
@@ -331,6 +332,9 @@ class _Tableau:
 
     def _pivot(self, row: int, col: int) -> None:
         self.pivots += 1
+        budget = get_budget()
+        if budget is not None:
+            budget.charge_pivot()
         pivot_row = self.rows[row]
         inv = 1 / pivot_row[col]
         if inv != 1:

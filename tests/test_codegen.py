@@ -188,3 +188,29 @@ class TestTriangularDomain:
                              writes=[("A", ["i", "j"])])
         _, _, mapped = compile_kernel(kernel)
         assert check_semantics(kernel, mapped.ast) == []
+
+
+class TestUnionLoopClassification:
+    def test_mixed_depth_chain_round_trips(self):
+        """Regression: statements of depths 3/1/3 chained through rank-1
+        tensors.  The fused union loop spans min-of-lowers..max-of-uppers,
+        so deciding whether a scalar time level sits strictly outside it
+        must quantify over *all* member bounds (``all``), while plain
+        single-statement loops (max..min) need ``any``.  The old ``any``
+        on union loops misplaced the depth-1 statement relative to its
+        producers/consumers."""
+        kernel = Kernel("uni", params={"N": 4})
+        kernel.add_tensor("In", (4,))
+        for name in ("T0", "T1", "T2"):
+            kernel.add_tensor(name, (4,))
+        deep = [("i", 0, "N"), ("j", 0, "N"), ("k", 0, "N")]
+        kernel.add_statement("S0", deep, writes=[("T0", ["i"])],
+                             reads=[("In", ["i"]), ("T0", ["i"])])
+        kernel.add_statement("S1", [("i", 0, "N")], writes=[("T1", ["i"])],
+                             reads=[("T0", ["i"])])
+        kernel.add_statement("S2", deep, writes=[("T2", ["i"])],
+                             reads=[("T1", ["i"]), ("T2", ["i"])])
+        kernel.validate()
+        _, _, mapped = compile_kernel(kernel, enable_vec=False,
+                                      max_threads=4)
+        assert check_semantics(kernel, mapped.ast) == []

@@ -31,7 +31,15 @@ class TestSerialParallelMetrics:
     def test_merged_metrics_identical(self, warm_process):
         serial = evaluate_network("LSTM", _config()).metrics
         parallel = evaluate_network("LSTM", _config(), jobs=2).metrics
-        assert serial["counters"] == parallel["counters"]
+
+        def counters(snapshot):
+            # `resilience.worker_retries` only exists in parallel runs (it
+            # counts crashed pool workers whose items were retried in the
+            # parent); everything the workers themselves compute must match.
+            return {k: v for k, v in snapshot["counters"].items()
+                    if not k.startswith("resilience.worker")}
+
+        assert counters(serial) == counters(parallel)
         assert serial["gauges"] == parallel["gauges"]
         # Pass call counts are deterministic; wall-clock seconds are not.
         serial_calls = {n: e["calls"] for n, e in serial["passes"].items()}
