@@ -7,6 +7,9 @@
     python -m repro table1
     python -m repro table2 --limit 6 --networks ResNet50,VGG16
     python -m repro profile BERT --limit 4
+    python -m repro verify --networks LSTM
+    python -m repro verify --update-goldens
+    python -m repro fuzz --budget 30 --seed 7
 
 The kernel file format is documented in :mod:`repro.ir.kparser`.
 
@@ -39,7 +42,8 @@ from repro.eval.tables import format_degradation_summary, geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
 from repro.obs import configure_logging, format_metrics_report, logger
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.runtime import Obs, use_obs
 from repro.pipeline import (
     AkgPipeline,
     VARIANTS,
@@ -49,6 +53,7 @@ from repro.pipeline import (
 )
 from repro.schedule import SchedulerOptions
 from repro.solver.budget import SolveBudget
+from repro.verify import VerifyConfig, run_fuzz, run_verify
 from repro.workloads import NETWORKS
 from repro.workloads.generator import generate_network_suite
 
@@ -175,7 +180,8 @@ def _cmd_table2(args) -> int:
         sample_blocks=args.sample_blocks,
         jobs=max(args.jobs, 1),
         trace=bool(args.trace),
-        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None)
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        verify=args.verify)
     results = []
     try:
         for network in networks:
@@ -194,6 +200,10 @@ def _cmd_table2(args) -> int:
         _export_observability(args, [r.metrics for r in results if r.metrics])
     degraded = sum(r.count_degraded for r in results)
     failed = sum(r.count_failed for r in results)
+    drifted = [op for r in results for op in r.operators if op.verify_problems]
+    for op in drifted:
+        for problem in op.verify_problems:
+            logger.error("verify %s: %s", op.name, problem)
     if failed:
         logger.error("%d operator(s) failed to compile; the report above "
                      "is partial", failed)
@@ -287,6 +297,57 @@ def _cmd_profile(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_verify(args) -> int:
+    networks = tuple(args.networks.split(",")) if args.networks else ()
+    unknown = [n for n in networks if n not in NETWORKS]
+    if unknown:
+        logger.error("unknown networks: %s; pick from %s",
+                     unknown, list(NETWORKS))
+        return 2
+    config = VerifyConfig(
+        networks=networks,
+        seed=args.seed,
+        limit=args.limit,
+        sample_blocks=args.sample_blocks,
+        max_threads=args.max_threads,
+        update_goldens=args.update_goldens,
+        goldens_dir=args.goldens_dir or None,
+        corpus_dir=args.corpus_dir or None,
+        check_goldens=not args.no_goldens,
+        check_oracle=not args.no_oracle,
+        check_metamorphic=not args.no_metamorphic,
+        check_corpus=not args.no_corpus)
+    obs = Obs(metrics=MetricsRegistry())
+    with use_obs(obs):
+        report = run_verify(config)
+    print(report.render())
+    if args.metrics:
+        _write_json_atomic(args.metrics, obs.metrics.as_dict())
+        logger.info("metrics written to %s", args.metrics)
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    obs = Obs(metrics=MetricsRegistry())
+    with use_obs(obs):
+        report = run_fuzz(
+            seed=args.seed,
+            budget_s=args.budget,
+            cases=args.cases if args.cases > 0 else None,
+            corpus_dir=args.corpus_dir or None,
+            write_corpus=not args.no_corpus)
+    print(report.render())
+    if args.metrics:
+        _write_json_atomic(args.metrics, obs.metrics.as_dict())
+        logger.info("metrics written to %s", args.metrics)
+    if report.failures:
+        logger.error("%d failing case(s); reproducers %s", len(report.failures),
+                     "written to the corpus" if not args.no_corpus
+                     else "not written (--no-corpus)")
+        return 1
+    return 0
+
+
 # -- the parser ---------------------------------------------------------------
 
 
@@ -346,6 +407,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=0.0,
                    help="wall-clock solve budget per scheduling attempt "
                         "(0 = unlimited)")
+    p.add_argument("--verify", action="store_true",
+                   help="run the differential oracle on every operator; "
+                        "semantic drift marks it failed")
     p.add_argument("--allow-degraded", action="store_true",
                    help="exit 0 even when operators compiled at reduced "
                         "quality via the degradation ladder")
@@ -368,6 +432,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "(0 = unlimited)")
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("verify",
+                       help="check golden schedules, the cross-variant "
+                            "oracle, metamorphic relations and the fuzz "
+                            "corpus")
+    p.add_argument("--networks", default="",
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=2,
+                   help="production-scale operators per network")
+    p.add_argument("--sample-blocks", type=int, default=2)
+    p.add_argument("--max-threads", type=int, default=256)
+    p.add_argument("--update-goldens", action="store_true",
+                   help="re-bless the golden files instead of checking them")
+    p.add_argument("--goldens-dir", default="",
+                   help="override the goldens directory (tests/goldens)")
+    p.add_argument("--corpus-dir", default="",
+                   help="override the corpus directory (tests/corpus)")
+    p.add_argument("--no-goldens", action="store_true")
+    p.add_argument("--no-oracle", action="store_true")
+    p.add_argument("--no-metamorphic", action="store_true")
+    p.add_argument("--no-corpus", action="store_true")
+    p.add_argument("--metrics", default="", metavar="FILE",
+                   help="write verify.* counters as JSON")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("fuzz",
+                       help="deterministic differential fuzzing; failing "
+                            "cases are minimized into tests/corpus")
+    p.add_argument("--budget", type=float, default=30.0,
+                   help="nominal seconds (converted to a deterministic "
+                        "case count)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cases", type=int, default=0,
+                   help="exact case count (overrides --budget)")
+    p.add_argument("--corpus-dir", default="",
+                   help="override the corpus directory (tests/corpus)")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="do not write reproducer files")
+    p.add_argument("--metrics", default="", metavar="FILE",
+                   help="write verify.fuzz.* counters as JSON")
+    p.set_defaults(func=_cmd_fuzz)
     return parser
 
 

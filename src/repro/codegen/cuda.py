@@ -14,6 +14,7 @@ skips dimensions marked for vectorization):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
@@ -77,7 +78,17 @@ def _constant_extent(loop: Loop, params: dict[str, int]) -> Optional[int]:
         uppers = [e.evaluate(env) for e in loop.uppers]
     except KeyError:
         return None
-    return int(min(uppers) - max(lowers)) + 1
+    lo = min(lowers) if loop.lower_is_min else max(lowers)
+    hi = max(uppers) if loop.upper_is_max else min(uppers)
+    return int(hi - lo) + 1
+
+
+def _effective_lower(loop: Loop, params: dict[str, int]) -> int:
+    """The loop's concrete first iteration value (mappable loops have
+    parameter-only bounds, so this is a plain integer)."""
+    env = {p: Fraction(v) for p, v in params.items()}
+    lowers = [e.evaluate(env) for e in loop.lowers]
+    return math.ceil(min(lowers) if loop.lower_is_min else max(lowers))
 
 
 def _mappable_chain(ast: Seq, params: dict[str, int]) -> list[Loop]:
@@ -100,18 +111,21 @@ def _mappable_chain(ast: Seq, params: dict[str, int]) -> list[Loop]:
     return chain
 
 
-def _strip_mine_thread_loop(loop: Loop, extent: int,
-                            max_threads: int) -> tuple[Loop, Loop]:
+def _strip_mine_thread_loop(loop: Loop, extent: int, max_threads: int,
+                            lower: int) -> tuple[Loop, Loop]:
     """Split an oversized thread loop into a block part and a thread part.
 
     Returns ``(outer, inner)``; the original loop object becomes the outer
-    one so parent links stay valid.
+    one so parent links stay valid.  Both parts are rebased at zero, so the
+    original variable is rewritten to ``lower + threads*outer + inner`` —
+    a schedule row can give the mapped loop a nonzero start, and dropping
+    ``lower`` would shift every executed instance.
     """
     thread_extent = max_threads
     outer_extent = (extent + thread_extent - 1) // thread_extent
     outer_var = f"{loop.var}b"
     inner_var = f"{loop.var}t"
-    replacement = (thread_extent * var(outer_var)) + var(inner_var)
+    replacement = (thread_extent * var(outer_var)) + var(inner_var) + lower
 
     inner = Loop(
         var=inner_var,
@@ -125,7 +139,7 @@ def _strip_mine_thread_loop(loop: Loop, extent: int,
     if outer_extent * thread_extent != extent:
         # Guard the ragged tail.
         from repro.solver.problem import Constraint
-        original_upper = LinExpr(const=extent - 1)
+        original_upper = LinExpr(const=lower + extent - 1)
         inner.body = Seq([Guard(
             conditions=[Constraint(replacement - original_upper, "<=")],
             body=inner.body)])
@@ -200,7 +214,9 @@ def map_to_gpu(kernel: Kernel, ast: Seq, schedule: Schedule,
     block_loops = chain[:-1]
     extent = _constant_extent(thread_loop, kernel.params)
     if extent > max_threads:
-        outer, inner = _strip_mine_thread_loop(thread_loop, extent, max_threads)
+        outer, inner = _strip_mine_thread_loop(
+            thread_loop, extent, max_threads,
+            _effective_lower(thread_loop, kernel.params))
         outer.mapping = "blockIdx.x"
         mapped.grid.append(MappedDim(outer.var,
                                      _constant_extent(outer, kernel.params),

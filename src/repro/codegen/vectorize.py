@@ -29,6 +29,7 @@ Loops that fail validation are demoted to plain loops, which is exactly the
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Iterable, Optional
 
@@ -55,7 +56,9 @@ def _constant_extent(loop: Loop, params: dict[str, int]) -> Optional[int]:
         uppers = [e.evaluate(env) for e in loop.uppers]
     except KeyError:
         return None  # bounds reference outer loop variables
-    return int(min(uppers) - max(lowers)) + 1
+    lo = min(lowers) if loop.lower_is_min else max(lowers)
+    hi = max(uppers) if loop.upper_is_max else min(uppers)
+    return int(hi - lo) + 1
 
 
 def _row_is_scalar_at(schedule: Schedule, name: str, dim: int) -> bool:
@@ -115,13 +118,26 @@ def _unguarded_calls(node) -> list[StatementCall]:
     return out
 
 
-def _strip_mine_vector_loop(loop: Loop, extent: int) -> None:
+def _effective_lower(loop: Loop, params: dict[str, int]) -> int:
+    """The loop's concrete first iteration value (bounds are parameter-only
+    for validated vector loops, so this is a plain integer)."""
+    env = {p: Fraction(v) for p, v in params.items()}
+    lowers = [e.evaluate(env) for e in loop.lowers]
+    return math.ceil(min(lowers) if loop.lower_is_min else max(lowers))
+
+
+def _strip_mine_vector_loop(loop: Loop, extent: int, lower: int) -> None:
     """Split the validated vector loop into a mappable outer strip and the
-    ``forvec`` inner loop (in place: ``loop`` becomes the outer strip)."""
+    ``forvec`` inner loop (in place: ``loop`` becomes the outer strip).
+
+    The strip is rebased at zero, so the original variable is rewritten to
+    ``lower + width*outer + inner`` — influence-shaped schedule rows can
+    give the vector loop a nonzero start (e.g. ``theta(i) = i + 2``), and
+    dropping ``lower`` would shift every grouped instance."""
     width = loop.vector_width
     outer_var = f"{loop.var}o"
     inner_var = f"{loop.var}v"
-    replacement = (width * var(outer_var)) + var(inner_var)
+    replacement = (width * var(outer_var)) + var(inner_var) + lower
 
     inner = Loop(
         var=inner_var,
@@ -172,7 +188,8 @@ def vectorize(ast: Seq, kernel: Kernel, schedule: Schedule,
         if _unsafe_carried(relations, schedule, node.schedule_dim, node, names):
             _demote(node)
             continue
-        _strip_mine_vector_loop(node, extent)
+        _strip_mine_vector_loop(node, extent,
+                                _effective_lower(node, kernel.params))
     return ast
 
 

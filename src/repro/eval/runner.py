@@ -64,6 +64,7 @@ class EvaluationConfig:
     jobs: int = 1          # worker processes; 1 = serial (deterministic tests)
     trace: bool = False    # record structured pass-trace events
     deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
+    verify: bool = False   # run the differential oracle on every operator
 
 
 @dataclass
@@ -80,6 +81,7 @@ class OperatorResult:
     status: str = "ok"          # one of OPERATOR_STATUSES
     degradation: dict = field(default_factory=dict)  # variant -> rung
     error: str = ""             # "variant: ExcType: message; ..." when failed
+    verify_problems: list = field(default_factory=list)  # oracle findings
 
     def speedup(self, variant: str) -> float:
         base = self.times.get("isl")
@@ -157,13 +159,19 @@ def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
 
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
-                      kernel: Kernel) -> OperatorResult:
+                      kernel: Kernel, verify: bool = False) -> OperatorResult:
     """Compile and measure one fused operator under all four variants.
 
     Typed failures are contained per variant: a variant whose whole
     degradation ladder failed is simply absent from ``times`` and the
     operator is marked ``failed``; a variant produced by a lower ladder
     rung marks it ``degraded``.
+
+    With ``verify`` the differential oracle (:mod:`repro.verify.oracle`)
+    runs after the variant loop against the pipeline's cached compiles;
+    any finding lands in :attr:`OperatorResult.verify_problems` and marks
+    the operator ``failed`` — a measurement whose semantics drifted from
+    the baseline is worse than one that never compiled.
     """
     times: dict[str, float] = {}
     launches: dict[str, int] = {}
@@ -190,7 +198,12 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
             degradation[variant] = compiled.degradation
         if variant == "infl":
             vectorized = compiled.vectorized
-    status = "failed" if errors else ("degraded" if degradation else "ok")
+    verify_problems: list[str] = []
+    if verify and not errors:
+        from repro.verify.oracle import differential_oracle
+        verify_problems = differential_oracle(kernel, pipeline=pipeline)
+    status = ("failed" if errors or verify_problems
+              else ("degraded" if degradation else "ok"))
     return OperatorResult(
         name=name,
         op_class=op_class,
@@ -203,6 +216,7 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
         status=status,
         degradation=degradation,
         error="; ".join(errors),
+        verify_problems=verify_problems,
     )
 
 
@@ -251,7 +265,8 @@ def _evaluate_index(network: str, config: EvaluationConfig,
     if _IS_WORKER and fault_action("worker", network=network,
                                    kernel=kernel.name) == "crash":
         os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
-    result = evaluate_operator(pipeline, kernel.name, op_class, kernel)
+    result = evaluate_operator(pipeline, kernel.name, op_class, kernel,
+                               verify=config.verify)
     return index, result, pipeline.context.as_dict()
 
 
@@ -344,7 +359,7 @@ def evaluate_network(network: str,
         if progress:
             progress(f"{network}: {kernel.name}")
         results.append(evaluate_operator(pipeline, kernel.name, op_class,
-                                         kernel))
+                                         kernel, verify=config.verify))
     return NetworkResult(network=network, operators=results,
                          metrics=pipeline.context.as_dict())
 

@@ -315,6 +315,16 @@ class _Simulator:
                 self._run(node.body, lanes, new_mask)
         elif isinstance(node, Loop):
             if node.mapping:
+                # `run_block` assigned the *raw* thread/block index; the
+                # loop variable's first iteration is its lower bound, so a
+                # nonzero lower shifts every lane (mappable bounds are
+                # parameter-only, hence identical across lanes).
+                lower_exprs, _ = self._compiled_bounds(node)
+                pick = min if node.lower_is_min else max
+                for env in lanes:
+                    lo = math.ceil(pick(e.value(env) for e in lower_exprs))
+                    if lo:
+                        env[node.var] += lo
                 self._run(node.body, lanes, mask)
             elif node.vector:
                 self._run_vector(node, lanes, mask)

@@ -8,17 +8,32 @@ ship them to other tools.  The format is stable and versioned.
 from __future__ import annotations
 
 import json
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.ir.kernel import Kernel
 from repro.schedule.functions import DimensionInfo, Schedule, ScheduleRow
 
 FORMAT_VERSION = 1
 
+# Degradation rungs a serialized schedule may be tagged with (mirrors
+# repro.pipeline.akg.DEGRADATION_LEVELS; duplicated to avoid an import
+# cycle — the pipeline imports this module's callers).
+KNOWN_DEGRADATIONS = ("none", "no-influence", "isl-baseline")
 
-def schedule_to_dict(schedule: Schedule) -> dict:
-    """A JSON-compatible representation of a schedule."""
-    return {
+
+def schedule_to_dict(schedule: Schedule,
+                     degradation: Optional[str] = None) -> dict:
+    """A JSON-compatible representation of a schedule.
+
+    ``degradation`` optionally tags the payload with the resilience rung
+    the producing compilation took (see
+    :data:`repro.pipeline.akg.DEGRADATION_LEVELS`); consumers read it back
+    with :func:`degradation_of`.
+    """
+    if degradation is not None and degradation not in KNOWN_DEGRADATIONS:
+        raise ValueError(f"unknown degradation rung {degradation!r}; "
+                         f"pick from {KNOWN_DEGRADATIONS}")
+    payload = {
         "version": FORMAT_VERSION,
         "params": list(schedule.params),
         "statements": {
@@ -44,6 +59,20 @@ def schedule_to_dict(schedule: Schedule) -> dict:
             for info in schedule.dims
         ],
     }
+    if degradation is not None:
+        payload["degradation"] = degradation
+    return payload
+
+
+def degradation_of(payload: Mapping) -> str:
+    """The degradation rung a serialized schedule was produced at
+    (``"none"`` for payloads without the tag, including version-1 files
+    written before the resilience ladder existed)."""
+    rung = payload.get("degradation", "none")
+    if rung not in KNOWN_DEGRADATIONS:
+        raise ValueError(f"unknown degradation rung {rung!r} in payload; "
+                         f"pick from {KNOWN_DEGRADATIONS}")
+    return rung
 
 
 def schedule_from_dict(kernel: Kernel, payload: Mapping) -> Schedule:

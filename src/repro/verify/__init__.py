@@ -1,0 +1,66 @@
+"""Differential verification subsystem.
+
+Four engines guard the paper's core invariant — the influenced schedule is
+*semantically identical* to the isl baseline while reducing memory
+transactions (PAPER.md Sections 4-5):
+
+* :mod:`repro.verify.snapshot` — golden regression: versioned snapshots of
+  compiled schedules, generated ASTs and simulator counters for the
+  Table II workloads, checked by ``repro verify`` and re-blessed with
+  ``repro verify --update-goldens``;
+* :mod:`repro.verify.oracle` — differential oracle: compile the ``isl``
+  and ``infl`` variants of one kernel and check instance-set equality,
+  dependence-order preservation and simulator conservation invariants,
+  aware of the degradation rung the resilient pipeline actually took;
+* :mod:`repro.verify.fuzz` — persistent-corpus fuzzer: seeded random
+  kernels + influence trees through the full differential oracle, failing
+  inputs minimized and saved as ``.kernel`` reproducers that tier-1
+  replays forever;
+* :mod:`repro.verify.metamorphic` — metamorphic properties: scheduling
+  must be invariant under iterator renaming, statement reordering and
+  parameter scaling, which catches solver nondeterminism point tests
+  cannot.
+"""
+
+from repro.verify.generator import (
+    KernelSpec,
+    StatementSpec,
+    random_spec,
+    spec_to_kernel,
+    spec_to_text,
+)
+from repro.verify.metamorphic import metamorphic_check
+from repro.verify.oracle import differential_oracle
+from repro.verify.fuzz import FuzzReport, run_fuzz
+from repro.verify.runner import VerifyConfig, VerifyReport, run_verify
+from repro.verify.snapshot import (
+    GOLDEN_VERSION,
+    build_network_golden,
+    compare_goldens,
+    golden_path,
+    load_golden,
+    operator_snapshot,
+    write_golden,
+)
+
+__all__ = [
+    "GOLDEN_VERSION",
+    "FuzzReport",
+    "KernelSpec",
+    "StatementSpec",
+    "VerifyConfig",
+    "VerifyReport",
+    "build_network_golden",
+    "compare_goldens",
+    "differential_oracle",
+    "golden_path",
+    "load_golden",
+    "metamorphic_check",
+    "operator_snapshot",
+    "random_spec",
+    "run_fuzz",
+    "run_verify",
+    "spec_to_kernel",
+    "spec_to_text",
+    "write_golden",
+]

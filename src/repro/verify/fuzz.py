@@ -1,0 +1,206 @@
+"""Deterministic differential fuzzing with a persistent reproducer corpus.
+
+``repro fuzz --budget S --seed N`` runs the cross-variant oracle (and,
+periodically, the metamorphic relations) over seeded random kernels.  Two
+design constraints shape this module:
+
+* **bit-identical runs** — the same seed and budget must produce the same
+  report on any machine, so the time budget is converted to a case count at
+  a nominal rate instead of consulting a wall clock, and every case draws
+  from its own ``random.Random`` derived from ``(seed, case index)``.
+* **failures outlive the process** — a failing case is structurally
+  minimized (:func:`~repro.verify.generator.minimize_spec`) and written as
+  a ``.kernel`` reproducer under ``tests/corpus/``, named by content
+  digest.  The committed corpus is replayed by the tier-1 test suite, so
+  every bug the fuzzer ever caught stays caught.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.kparser import parse_kernel
+from repro.obs.runtime import get_obs
+from repro.pipeline.akg import AkgPipeline
+from repro.verify.generator import (WEIGHT_PRESETS, KernelSpec, minimize_spec,
+                                    random_spec, spec_to_kernel, spec_to_text)
+from repro.verify.metamorphic import metamorphic_check
+from repro.verify.oracle import differential_oracle
+
+# Budget -> case-count conversion.  A nominal rate keeps the run length
+# roughly proportional to the requested seconds while staying exactly
+# reproducible (a wall clock would make the case count racy).  Calibrated
+# against the observed ~1.2 cases/s with the metamorphic cadence below.
+NOMINAL_CASES_PER_SECOND = 1
+
+# Metamorphic relations compile several kernel variants per case, so they
+# run on every k-th case rather than all of them.
+METAMORPHIC_EVERY = 4
+
+DEFAULT_CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "tests", "corpus")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing (already minimized) fuzz case."""
+
+    case_index: int
+    digest: str
+    problems: tuple[str, ...]
+    path: Optional[str]  # reproducer file, None when corpus writing is off
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one deterministic fuzz run."""
+
+    seed: int
+    cases: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """Deterministic textual report (bit-identical across runs)."""
+        lines = [f"fuzz: seed={self.seed} cases={self.cases} "
+                 f"failures={len(self.failures)}"]
+        for failure in self.failures:
+            lines.append(f"  case {failure.case_index} "
+                         f"[{failure.digest}]"
+                         + (f" -> {failure.path}" if failure.path else ""))
+            for problem in failure.problems:
+                lines.append(f"    {problem}")
+        return "\n".join(lines)
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    # A large odd multiplier decorrelates neighboring case streams.
+    return random.Random(seed * 1_000_003 + index)
+
+
+def _check_spec(spec: KernelSpec, pipelines: dict[int, AkgPipeline],
+                metamorphic: bool) -> list[str]:
+    """All problems the verification engines find in one spec."""
+    index = spec.weights_index % len(WEIGHT_PRESETS)
+    if index not in pipelines:
+        pipelines[index] = AkgPipeline(weights=WEIGHT_PRESETS[index])
+    pipeline = pipelines[index]
+    try:
+        kernel = spec_to_kernel(spec)
+        problems = differential_oracle(kernel, pipeline=pipeline)
+        if metamorphic:
+            problems += metamorphic_check(spec, pipeline=pipeline)
+        return problems
+    except Exception as exc:  # crash == finding, keep fuzzing
+        return [f"exception: {type(exc).__name__}: {exc}"]
+
+
+def spec_digest(spec: KernelSpec) -> str:
+    """Content digest of a spec's kernel text (stable reproducer identity,
+    independent of which fuzz run found it)."""
+    return hashlib.sha256(spec_to_text(spec).encode()).hexdigest()[:16]
+
+
+def write_reproducer(spec: KernelSpec, problems: list[str], seed: int,
+                     case_index: int,
+                     corpus_dir: Optional[str] = None) -> str:
+    """Persist a minimized failing spec as a ``.kernel`` corpus file."""
+    corpus_dir = corpus_dir or DEFAULT_CORPUS_DIR
+    os.makedirs(corpus_dir, exist_ok=True)
+    digest = spec_digest(spec)
+    header_lines = [
+        f"repro fuzz reproducer {digest}",
+        f"found by: seed={seed} case={case_index} "
+        f"weights_index={spec.weights_index % len(WEIGHT_PRESETS)}",
+    ] + [f"problem: {p}" for p in problems[:3]]
+    path = os.path.join(corpus_dir, f"{digest}.kernel")
+    with open(path, "w") as handle:
+        handle.write(spec_to_text(spec, header="\n".join(header_lines)))
+    return path
+
+
+def run_fuzz(seed: int, budget_s: float = 0.0,
+             cases: Optional[int] = None,
+             corpus_dir: Optional[str] = None,
+             write_corpus: bool = True,
+             extent: int = 4) -> FuzzReport:
+    """One deterministic fuzz run.
+
+    ``cases`` overrides the budget-derived count; ``write_corpus=False``
+    checks without touching the corpus directory (used by the determinism
+    test, which compares two rendered reports byte for byte).
+    """
+    obs = get_obs()
+    if cases is None:
+        cases = max(1, int(budget_s * NOMINAL_CASES_PER_SECOND))
+    report = FuzzReport(seed=seed, cases=cases)
+    pipelines: dict[int, AkgPipeline] = {}
+    for index in range(cases):
+        spec = random_spec(_case_rng(seed, index), index=index, extent=extent)
+        metamorphic = index % METAMORPHIC_EVERY == 0
+        problems = _check_spec(spec, pipelines, metamorphic)
+        if obs.metrics.enabled:
+            obs.metrics.count("verify.fuzz.cases")
+        if not problems:
+            continue
+        if obs.metrics.enabled:
+            obs.metrics.count("verify.fuzz.failures")
+        minimized = minimize_spec(
+            spec, lambda s: bool(_check_spec(s, pipelines, metamorphic)))
+        problems = _check_spec(minimized, pipelines, metamorphic) or problems
+        path = None
+        if write_corpus:
+            path = write_reproducer(minimized, problems, seed, index,
+                                    corpus_dir)
+        report.failures.append(FuzzFailure(
+            case_index=index, digest=spec_digest(minimized),
+            problems=tuple(problems), path=path))
+    return report
+
+
+# -- corpus replay -------------------------------------------------------------
+
+
+def corpus_files(corpus_dir: Optional[str] = None) -> list[str]:
+    corpus_dir = corpus_dir or DEFAULT_CORPUS_DIR
+    if not os.path.isdir(corpus_dir):
+        return []
+    return sorted(os.path.join(corpus_dir, name)
+                  for name in os.listdir(corpus_dir)
+                  if name.endswith(".kernel"))
+
+
+def replay_corpus(corpus_dir: Optional[str] = None,
+                  pipeline: Optional[AkgPipeline] = None) -> list[str]:
+    """Re-run the differential oracle on every committed reproducer.
+
+    Reproducer text does not carry the cost-weight preset, so each file is
+    replayed under *every* preset — a reproducer must stay green under all
+    of them.  Returns problems prefixed with the reproducer filename.
+    """
+    problems: list[str] = []
+    for path in corpus_files(corpus_dir):
+        with open(path) as handle:
+            text = handle.read()
+        try:
+            kernel = parse_kernel(text)
+        except Exception as exc:
+            problems.append(f"{os.path.basename(path)}: unparseable: {exc}")
+            continue
+        for preset_index, weights in enumerate(WEIGHT_PRESETS):
+            replay_pipeline = pipeline or AkgPipeline(weights=weights)
+            for problem in differential_oracle(kernel,
+                                               pipeline=replay_pipeline):
+                problems.append(f"{os.path.basename(path)}"
+                                f"[w{preset_index}]: {problem}")
+            if pipeline is not None:
+                break  # caller pinned a pipeline; presets do not apply
+    return problems

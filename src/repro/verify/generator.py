@@ -1,0 +1,246 @@
+"""Seeded random kernel specs for the fuzzer and the reproducer corpus.
+
+The fuzzer needs three things hypothesis strategies do not give it: full
+determinism from a plain integer seed (bit-identical corpora across runs
+and machines), a *spec* layer that survives outside the process (so
+failing inputs can be minimized structurally and written as ``.kernel``
+reproducer files), and independence from the test harness so the same
+generator drives ``repro fuzz`` from the CLI.
+
+A :class:`KernelSpec` is a declarative mirror of the hypothesis strategy
+in ``tests/test_fuzz_pipeline.py``: 1-3 statements over iterators drawn
+from ``i, j, k`` at depth 1-3, rectangular or triangular domains, affine
+subscripts with permutation / reuse / constant pinning, accumulator-style
+self reads, and a pool of shared input tensors.  Specs convert both to
+:class:`~repro.ir.kernel.Kernel` objects (builder API) and to the textual
+kernel format of :mod:`repro.ir.kparser`, and the two paths produce
+equivalent kernels — reproducers replay through the parser.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.influence.scenarios import CostWeights
+from repro.ir.kernel import Kernel
+
+ITER_POOL = ("i", "j", "k")
+DEFAULT_EXTENT = 4  # small enough for exhaustive instance checking
+
+# Deterministic weight presets the fuzzer cycles through: default costs,
+# vectorization-greedy, and locality-heavy.  Varying the weight vector
+# varies the influence-tree shape, so the same kernel population covers
+# more scheduler configurations.
+WEIGHT_PRESETS: tuple[CostWeights, ...] = (
+    CostWeights(),
+    CostWeights(w1=10.0, w2=8.0),   # vectorization-greedy
+    CostWeights(w3=4.0, w4=4.0),    # stride/locality-heavy
+)
+
+
+@dataclass(frozen=True)
+class StatementSpec:
+    """One statement: bounds as ``(iterator, lower, upper-text)`` plus
+    ``(tensor, subscript-texts)`` accesses — everything is kparser text."""
+
+    name: str
+    bounds: tuple[tuple[str, int, str], ...]
+    writes: tuple[tuple[str, tuple[str, ...]], ...]
+    reads: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    flops: int = 1
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A declarative kernel: params + tensors + statements."""
+
+    name: str
+    params: tuple[tuple[str, int], ...]
+    tensors: tuple[tuple[str, tuple[int, ...]], ...]
+    statements: tuple[StatementSpec, ...]
+    weights_index: int = 0  # into WEIGHT_PRESETS
+
+    @property
+    def weights(self) -> CostWeights:
+        return WEIGHT_PRESETS[self.weights_index % len(WEIGHT_PRESETS)]
+
+
+def spec_to_kernel(spec: KernelSpec) -> Kernel:
+    """Build the concrete kernel a spec describes (validated)."""
+    kernel = Kernel(spec.name, params=dict(spec.params))
+    for name, shape in spec.tensors:
+        kernel.add_tensor(name, shape)
+    for s in spec.statements:
+        kernel.add_statement(s.name,
+                             [(it, lo, hi) for it, lo, hi in s.bounds],
+                             writes=[(t, list(subs)) for t, subs in s.writes],
+                             reads=[(t, list(subs)) for t, subs in s.reads],
+                             flops=s.flops)
+    kernel.validate()
+    return kernel
+
+
+def spec_to_text(spec: KernelSpec, header: str = "") -> str:
+    """The spec in :mod:`repro.ir.kparser` format (a ``.kernel`` file).
+
+    ``header`` lines are embedded as ``#`` comments, so reproducer files
+    carry their provenance (fuzz seed, case index, failure summary)."""
+    lines = [f"# {line}" for line in header.splitlines() if line.strip()]
+    params = ", ".join(f"{p}={v}" for p, v in spec.params)
+    lines.append(f"kernel {spec.name}" + (f" ({params})" if params else ""))
+    for name, shape in spec.tensors:
+        dims = "".join(f"[{extent}]" for extent in shape)
+        lines.append(f"tensor {name}{dims}")
+    for s in spec.statements:
+        iters = ", ".join(f"{it}: {lo}..{hi}" for it, lo, hi in s.bounds)
+        flops = f" flops={s.flops}" if s.flops != 1 else ""
+
+        def access(t, subs):
+            return t + "".join(f"[{sub}]" for sub in subs)
+
+        left = ", ".join(access(t, subs) for t, subs in s.writes)
+        args = ", ".join(access(t, subs) for t, subs in s.reads)
+        right = f"f({args})"
+        lines.append(f"{s.name}[{iters}]{flops}: {left} = {right}")
+    return "\n".join(lines) + "\n"
+
+
+# -- random generation ---------------------------------------------------------
+
+
+def random_spec(rng: random.Random, index: int = 0,
+                extent: int = DEFAULT_EXTENT) -> KernelSpec:
+    """One random kernel spec (mirrors the hypothesis strategy)."""
+    n = extent
+    tensors: list[tuple[str, tuple[int, ...]]] = [
+        (f"In{rank}", (n,) * rank) for rank in (1, 2, 3)]
+    written: list[tuple[str, int]] = [(f"In{r}", r) for r in (1, 2, 3)]
+    statements: list[StatementSpec] = []
+
+    n_statements = rng.randint(1, 3)
+    for s_index in range(n_statements):
+        depth = rng.randint(1, 3)
+        iters = list(ITER_POOL[:depth])
+        triangular = depth >= 2 and rng.random() < 0.5
+        bounds = []
+        for level, it in enumerate(iters):
+            if triangular and level == 1:
+                bounds.append((it, 0, "i + 1"))
+            else:
+                # Occasionally start above zero: nonzero lower bounds reach
+                # the vector-loop rebasing paths (see the corpus reproducer
+                # for the strip-mining lower-bound regression).
+                bounds.append((it, rng.choice((0, 0, 0, 2)), "N"))
+
+        def subscripts(rank: int) -> tuple[str, ...]:
+            subs = []
+            for _ in range(rank):
+                choice = rng.choice(iters + ["const"])
+                if choice == "const":
+                    subs.append(str(rng.randrange(n)))
+                elif rng.random() < 0.5 and not triangular:
+                    subs.append(f"{choice} + 0")
+                else:
+                    subs.append(choice)
+            return tuple(subs)
+
+        out_rank = rng.randint(1, min(3, depth))
+        out_name = f"T{s_index}"
+        tensors.append((out_name, (n,) * out_rank))
+        write_subs = tuple(iters[:out_rank])
+        reads = []
+        for _ in range(rng.randint(0, 2)):
+            tensor, rank = rng.choice(written)
+            reads.append((tensor, subscripts(rank)))
+        if rng.random() < 0.5:
+            reads.append((out_name, write_subs))  # accumulator style
+        statements.append(StatementSpec(
+            name=f"S{s_index}",
+            bounds=tuple(bounds),
+            writes=((out_name, write_subs),),
+            reads=tuple(reads)))
+        written.append((out_name, out_rank))
+
+    return KernelSpec(
+        name=f"fuzz{index:06d}",
+        params=(("N", n),),
+        tensors=tuple(tensors),
+        statements=tuple(statements),
+        weights_index=rng.randrange(len(WEIGHT_PRESETS)))
+
+
+# -- minimization --------------------------------------------------------------
+
+
+def _used_tensors(statements: tuple[StatementSpec, ...],
+                  spec: KernelSpec) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    used = {t for s in statements for t, _ in s.writes + s.reads}
+    return tuple(t for t in spec.tensors if t[0] in used)
+
+
+def _candidates(spec: KernelSpec):
+    """Strictly smaller specs, most aggressive first."""
+    n = len(spec.statements)
+    # Drop one statement (and any later reads of its output).
+    for drop in range(n - 1, -1, -1):
+        if n == 1:
+            break
+        dropped = spec.statements[drop].writes[0][0]
+        kept = []
+        for index, s in enumerate(spec.statements):
+            if index == drop:
+                continue
+            reads = tuple(r for r in s.reads if r[0] != dropped)
+            kept.append(replace(s, reads=reads))
+        statements = tuple(kept)
+        yield replace(spec, statements=statements,
+                      tensors=_used_tensors(statements, spec))
+    # Drop one read access.
+    for s_index, s in enumerate(spec.statements):
+        for r_index in range(len(s.reads)):
+            reads = s.reads[:r_index] + s.reads[r_index + 1:]
+            statements = (spec.statements[:s_index]
+                          + (replace(s, reads=reads),)
+                          + spec.statements[s_index + 1:])
+            yield replace(spec, statements=statements,
+                          tensors=_used_tensors(statements, spec))
+    # Rectangularize triangular bounds.
+    for s_index, s in enumerate(spec.statements):
+        if any(hi != "N" for _, _, hi in s.bounds):
+            bounds = tuple((it, lo, "N") for it, lo, _ in s.bounds)
+            statements = (spec.statements[:s_index]
+                          + (replace(s, bounds=bounds),)
+                          + spec.statements[s_index + 1:])
+            yield replace(spec, statements=statements)
+    # Rebase nonzero lower bounds at zero.
+    for s_index, s in enumerate(spec.statements):
+        if any(lo != 0 for _, lo, _ in s.bounds):
+            bounds = tuple((it, 0, hi) for it, _, hi in s.bounds)
+            statements = (spec.statements[:s_index]
+                          + (replace(s, bounds=bounds),)
+                          + spec.statements[s_index + 1:])
+            yield replace(spec, statements=statements)
+    # Fall back to the default weight preset.
+    if spec.weights_index != 0:
+        yield replace(spec, weights_index=0)
+
+
+def minimize_spec(spec: KernelSpec, still_fails) -> KernelSpec:
+    """Greedy structural shrinking: repeatedly take the first strictly
+    smaller candidate for which ``still_fails(spec)`` holds, until no
+    candidate fails.  ``still_fails`` must be a pure predicate."""
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _candidates(spec):
+            ok = False
+            try:
+                ok = still_fails(candidate)
+            except Exception:
+                ok = True  # crashing on the candidate still reproduces a bug
+            if ok:
+                spec = candidate
+                changed = True
+                break
+    return spec

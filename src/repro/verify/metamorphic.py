@@ -1,0 +1,202 @@
+"""Metamorphic scheduling properties.
+
+A metamorphic test needs no oracle for the *value* of an output — only a
+relation between the outputs of two related inputs.  For the polyhedral
+scheduler the natural relations are invariances: transformations of the
+input kernel that provably do not change the scheduling problem must not
+change the produced schedule.
+
+Three relations are checked:
+
+* **iterator renaming** — iterators are bound variables; renaming every
+  ``i`` to ``mx0`` rewrites domains (:meth:`Polyhedron.rename`) and access
+  subscripts but leaves the ILP identical.  The serialized schedule stores
+  iterator coefficients positionally, so the payloads must be *equal*.
+* **statement reordering** — the original execution order lives in the
+  betas, so permuting the *declaration list* while keeping each
+  statement's betas leaves every dependence untouched.  Declaration order
+  is still observable by design — the pipeline clusters textually
+  adjacent statements into launches — so the relation is semantic, not
+  syntactic: the reordered compile must produce dependence-valid
+  schedules and execute exactly the same instance set.
+* **parameter scaling** (spec level) — the scheduler reasons symbolically
+  over parameters; doubling ``N`` (and the matching tensor extents) must
+  not change the schedule structure.
+
+Each relation compiles the transformed kernel through the *real* pipeline
+and compares serialized schedules, so a violation means the scheduler is
+sensitive to something it must not observe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.deps.analysis import compute_dependences
+from repro.ir.access import Access
+from repro.ir.kernel import Kernel
+from repro.ir.statement import Statement
+from repro.obs.runtime import get_obs
+from repro.pipeline.akg import AkgPipeline
+from repro.schedule.analysis import verify_schedule
+from repro.schedule.serialize import schedule_to_dict
+from repro.solver.problem import LinExpr
+from repro.verify.generator import KernelSpec, spec_to_kernel
+from repro.verify.oracle import domain_points, instance_set
+
+VARIANTS = ("isl", "infl")
+SCALE_FACTOR = 2
+
+
+# -- kernel transformations ----------------------------------------------------
+
+
+def fresh_renaming(kernel: Kernel) -> dict[str, str]:
+    """A collision-free renaming of every iterator in the kernel."""
+    iterators = sorted({it for s in kernel.statements for it in s.iterators})
+    taken = set(kernel.params) | set(kernel.tensors) | set(iterators)
+    mapping = {}
+    for index, it in enumerate(iterators):
+        name = f"mx{index}"
+        while name in taken:
+            name = "m" + name
+        taken.add(name)
+        mapping[it] = name
+    return mapping
+
+
+def _rename_expr(expr: LinExpr, mapping: dict[str, str]) -> LinExpr:
+    return LinExpr({mapping.get(n, n): c for n, c in expr.coeffs.items()},
+                   expr.const)
+
+
+def rename_iterators(kernel: Kernel, mapping: dict[str, str]) -> Kernel:
+    """The same kernel with every iterator renamed per ``mapping``."""
+    out = Kernel(kernel.name, params=dict(kernel.params))
+    for tensor in kernel.tensors.values():
+        out.add_tensor(tensor.name, tensor.shape, tensor.dtype)
+
+    def rename_access(access: Access) -> Access:
+        subs = tuple(_rename_expr(e, mapping) for e in access.subscripts)
+        return Access(out.tensors[access.tensor.name], subs, access.is_write)
+
+    for s in kernel.statements:
+        out.statements.append(Statement(
+            name=s.name,
+            iterators=[mapping.get(it, it) for it in s.iterators],
+            domain=s.domain.rename(mapping),
+            writes=[rename_access(a) for a in s.writes],
+            reads=[rename_access(a) for a in s.reads],
+            betas=list(s.betas),
+            flops=s.flops))
+    return out
+
+
+def reorder_statements(kernel: Kernel, order: list[int]) -> Kernel:
+    """The same kernel with statements declared in ``order`` but keeping
+    every statement's betas (so the original execution order — and hence
+    every dependence — is unchanged)."""
+    out = Kernel(kernel.name, params=dict(kernel.params))
+    for tensor in kernel.tensors.values():
+        out.add_tensor(tensor.name, tensor.shape, tensor.dtype)
+    out.statements = [kernel.statements[index] for index in order]
+    return out
+
+
+def scale_spec(spec: KernelSpec, factor: int = SCALE_FACTOR) -> KernelSpec:
+    """The spec with every parameter and tensor extent multiplied by
+    ``factor`` (domains in fuzz specs are sized by the parameters)."""
+    from dataclasses import replace
+    return replace(
+        spec,
+        params=tuple((p, v * factor) for p, v in spec.params),
+        tensors=tuple((name, tuple(d * factor for d in shape))
+                      for name, shape in spec.tensors))
+
+
+# -- comparisons ---------------------------------------------------------------
+
+
+def _schedule_payloads(compiled) -> list[dict]:
+    return [schedule_to_dict(launch.schedule) for launch in compiled.launches]
+
+
+def _compare_compiles(label: str, base, transformed,
+                      problems: list[str]) -> None:
+    """Exact schedule equality between a compile of the original kernel and
+    a compile of a transformed-but-equivalent kernel."""
+    if base.degradation != transformed.degradation:
+        problems.append(
+            f"{label}: degradation rung changed "
+            f"({base.degradation!r} -> {transformed.degradation!r})")
+        return
+    payloads = _schedule_payloads(base)
+    payloads_t = _schedule_payloads(transformed)
+    if len(payloads) != len(payloads_t):
+        problems.append(f"{label}: launch count changed "
+                        f"({len(payloads)} -> {len(payloads_t)})")
+        return
+    for index, (p, pt) in enumerate(zip(payloads, payloads_t)):
+        if p != pt:
+            problems.append(f"{label}: schedule of launch {index} changed")
+
+
+def _compare_semantics(label: str, base, transformed,
+                       problems: list[str]) -> None:
+    """Semantic equivalence: the transformed compile must have
+    dependence-valid schedules and (when enumerable) execute exactly the
+    base compile's instance set.  Used where declaration order legitimately
+    changes launch clustering, so schedule equality is too strong."""
+    for launch in transformed.launches:
+        relations = compute_dependences(launch.kernel)
+        for violation in verify_schedule(launch.schedule, relations):
+            problems.append(f"{label}: schedule violation: {violation}")
+    if domain_points(base.kernel) is None:
+        return
+    base_instances = instance_set(base)
+    transformed_instances = instance_set(transformed)
+    if base_instances != transformed_instances:
+        only_base = len(base_instances - transformed_instances)
+        only_t = len(transformed_instances - base_instances)
+        problems.append(f"{label}: instance sets differ ({only_base} lost, "
+                        f"{only_t} new)")
+
+
+def metamorphic_check(source: Union[Kernel, KernelSpec],
+                      pipeline: Optional[AkgPipeline] = None,
+                      max_threads: int = 256) -> list[str]:
+    """Check every applicable metamorphic relation on ``source``.
+
+    Accepts a plain :class:`Kernel` (renaming + reordering) or a
+    :class:`KernelSpec` (additionally parameter scaling, which needs the
+    spec's parameter/extent coupling).  Returns human-readable problems.
+    """
+    obs = get_obs()
+    problems: list[str] = []
+    pipeline = pipeline or AkgPipeline(max_threads=max_threads)
+    spec = source if isinstance(source, KernelSpec) else None
+    kernel = spec_to_kernel(spec) if spec is not None else source
+
+    renamed = rename_iterators(kernel, fresh_renaming(kernel))
+    reversed_order = list(range(len(kernel.statements)))[::-1]
+    reordered = reorder_statements(kernel, reversed_order)
+
+    for variant in VARIANTS:
+        base = pipeline.compile(kernel, variant)
+        _compare_compiles(f"{variant}/{kernel.name}: iterator renaming",
+                          base, pipeline.compile(renamed, variant), problems)
+        if len(kernel.statements) > 1:
+            _compare_semantics(
+                f"{variant}/{kernel.name}: statement reordering",
+                base, pipeline.compile(reordered, variant), problems)
+        if spec is not None:
+            scaled = spec_to_kernel(scale_spec(spec))
+            _compare_compiles(f"{variant}/{kernel.name}: parameter scaling",
+                              base, pipeline.compile(scaled, variant),
+                              problems)
+
+    if obs.metrics.enabled:
+        obs.metrics.count("verify.metamorphic.checked")
+        if problems:
+            obs.metrics.count("verify.metamorphic.problems", len(problems))
+    return problems

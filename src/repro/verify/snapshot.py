@@ -1,0 +1,204 @@
+"""Golden regression snapshots of compiled Table II operators.
+
+A *snapshot* captures everything downstream of the scheduler for one
+compiled operator: the serialized schedule of every launch (via
+:mod:`repro.schedule.serialize`), the generated loop AST, the launch
+geometry, the degradation rung taken, and the GPU model's full
+:class:`~repro.gpu.simulator.KernelProfile` counter set.  Golden files
+(one JSON document per network under ``tests/goldens/``) pin those
+snapshots for a fixed generator configuration, so *any* behavior change in
+the scheduler, code generator, mapper or simulator shows up as a reviewed
+diff instead of silent drift.
+
+``repro verify`` checks the committed goldens; ``repro verify
+--update-goldens`` re-blesses them after an intentional change.  The
+compilation model is deterministic (exact rational arithmetic end to end),
+so comparisons are exact — including floats, which round-trip JSON
+losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.simulator import simulate_kernel
+from repro.obs.runtime import get_obs
+from repro.pipeline.akg import AkgPipeline, CompiledOperator
+from repro.schedule.serialize import schedule_to_dict
+from repro.workloads.generator import generate_network_suite
+from repro.workloads.networks import NETWORKS
+
+GOLDEN_VERSION = 1
+
+# Default goldens directory: tests/goldens/ next to the test suite.
+DEFAULT_GOLDENS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "tests", "goldens")
+
+GOLDEN_VARIANTS = ("isl", "infl")
+
+
+@dataclass(frozen=True)
+class GoldenConfig:
+    """The generator/pipeline configuration a golden file is pinned to.
+
+    Stored inside the file and compared on check, so a config drift (e.g.
+    a different seed) reads as an explicit mismatch instead of a wall of
+    bogus schedule diffs.
+    """
+
+    seed: int = 0
+    limit: int = 2          # operators per network
+    sample_blocks: int = 2  # simulator sampling for the profile counters
+    max_threads: int = 256
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "limit": self.limit,
+                "sample_blocks": self.sample_blocks,
+                "max_threads": self.max_threads}
+
+
+def operator_snapshot(compiled: CompiledOperator,
+                      pipeline: AkgPipeline,
+                      sample_blocks: int = 2) -> dict:
+    """The golden snapshot of one compiled operator."""
+    launches = []
+    for launch in compiled.launches:
+        profile = simulate_kernel(launch, arch=pipeline.arch,
+                                  sample_blocks=sample_blocks)
+        launches.append({
+            "kernel": launch.kernel.name,
+            "schedule": schedule_to_dict(launch.schedule,
+                                         degradation=compiled.degradation),
+            "ast": launch.ast.render(),
+            "grid": [[d.loop_var, d.extent, d.mapping] for d in launch.grid],
+            "block": [[d.loop_var, d.extent, d.mapping] for d in launch.block],
+            "profile": profile.counters(),
+        })
+    return {
+        "variant": compiled.variant,
+        "degradation": compiled.degradation,
+        "vectorized": compiled.vectorized,
+        "n_launches": compiled.n_launches,
+        "launches": launches,
+    }
+
+
+def build_network_golden(network: str,
+                         config: Optional[GoldenConfig] = None,
+                         pipeline: Optional[AkgPipeline] = None) -> dict:
+    """Compile the network's (limited) suite and snapshot every operator
+    under every golden variant."""
+    config = config or GoldenConfig()
+    if network not in NETWORKS:
+        raise ValueError(f"unknown network {network!r}; "
+                         f"pick from {list(NETWORKS)}")
+    pipeline = pipeline or AkgPipeline(max_threads=config.max_threads,
+                                       sample_blocks=config.sample_blocks)
+    suite = generate_network_suite(network, seed=config.seed,
+                                   limit=config.limit)
+    operators = {}
+    for op_class, kernel in suite:
+        snapshots = {}
+        for variant in GOLDEN_VARIANTS:
+            compiled = pipeline.compile(kernel, variant)
+            snapshots[variant] = operator_snapshot(
+                compiled, pipeline, sample_blocks=config.sample_blocks)
+        operators[kernel.name] = {"class": op_class, "variants": snapshots}
+    return {
+        "version": GOLDEN_VERSION,
+        "network": network,
+        "config": config.as_dict(),
+        "operators": operators,
+    }
+
+
+# -- comparison ----------------------------------------------------------------
+
+
+def _diff(expected, actual, path: str, out: list[str],
+          max_problems: int = 50) -> None:
+    """Structural diff of two JSON-compatible values, exact equality."""
+    if len(out) >= max_problems:
+        return
+    if type(expected) is not type(actual):
+        out.append(f"{path}: type changed "
+                   f"{type(expected).__name__} -> {type(actual).__name__}")
+        return
+    if isinstance(expected, dict):
+        for key in expected.keys() | actual.keys():
+            if key not in actual:
+                out.append(f"{path}.{key}: missing")
+            elif key not in expected:
+                out.append(f"{path}.{key}: unexpected new entry")
+            else:
+                _diff(expected[key], actual[key], f"{path}.{key}", out,
+                      max_problems)
+    elif isinstance(expected, list):
+        if len(expected) != len(actual):
+            out.append(f"{path}: length {len(expected)} -> {len(actual)}")
+            return
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _diff(e, a, f"{path}[{index}]", out, max_problems)
+    elif expected != actual:
+        out.append(f"{path}: {expected!r} -> {actual!r}")
+
+
+def compare_goldens(expected: dict, actual: dict) -> list[str]:
+    """Differences between a stored golden document and a fresh build
+    (empty == no behavior change)."""
+    problems: list[str] = []
+    if expected.get("version") != actual.get("version"):
+        problems.append(f"golden format version "
+                        f"{expected.get('version')!r} -> "
+                        f"{actual.get('version')!r}")
+        return problems
+    _diff(expected.get("config"), actual.get("config"), "config", problems)
+    if problems:
+        # A config mismatch makes every downstream diff meaningless.
+        return problems
+    _diff(expected.get("operators"), actual.get("operators"), "operators",
+          problems)
+    obs = get_obs()
+    if obs.metrics.enabled:
+        obs.metrics.count("verify.golden.checked")
+        if problems:
+            obs.metrics.count("verify.golden.mismatches", len(problems))
+    return problems
+
+
+# -- file I/O ------------------------------------------------------------------
+
+
+def golden_path(network: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or DEFAULT_GOLDENS_DIR,
+                        f"{network}.json")
+
+
+def load_golden(network: str, directory: Optional[str] = None) -> Optional[dict]:
+    """The stored golden document, or None when never blessed."""
+    path = golden_path(network, directory)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != GOLDEN_VERSION:
+        raise ValueError(f"{path}: unsupported golden version "
+                         f"{payload.get('version')!r}")
+    return payload
+
+
+def write_golden(document: dict, directory: Optional[str] = None) -> str:
+    """Persist one network's golden document (sorted, indented: diffable)."""
+    directory = directory or DEFAULT_GOLDENS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = golden_path(document["network"], directory)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path

@@ -135,3 +135,47 @@ def generate_network_suite(network: str, seed: int = 0,
             round_index += 1
         suite = picked
     return suite
+
+
+# Tiny shapes per operator class for the exhaustive differential oracle
+# (repro.verify): small enough that every statement domain can be fully
+# enumerated by the sequential interpreter, but structurally identical to
+# the production-scale operators above.
+_VERIFY_BUILDERS = {
+    "elementwise_neutral": lambda name: operators.elementwise_chain_op(
+        name, rows=8, cols=3, length=1, extra_inputs=1),
+    "elementwise_vec": lambda name: operators.elementwise_chain_op(
+        name, rows=16, cols=8, length=2, extra_inputs=1),
+    "broadcast": lambda name: operators.broadcast_bias_op(
+        name, rows=16, cols=8),
+    "reduce_producer": lambda name: operators.reduce_producer_op(
+        name, rows=16, red=4),
+    "layout_conversion": lambda name: operators.layout_conversion_op(
+        name, batch=2, channels=4, height=4, width=4, fused_elementwise=1),
+    "layout_conversion_f16": lambda name: operators.layout_conversion_op(
+        name, batch=2, channels=4, height=4, width=4, dtype=FLOAT16,
+        to_nhwc=True, fused_elementwise=0),
+    "softmax_like": lambda name: operators.softmax_like_op(
+        name, rows=8, cols=8),
+    "strided_pool": lambda name: operators.strided_pool_op(
+        name, rows=8, cols=8),
+    "transpose2d": lambda name: operators.transpose2d_op(
+        name, rows=16, cols=8),
+}
+
+
+def verification_suite(network: str) -> list[tuple[str, Kernel]]:
+    """Small-shape stand-ins for one network's operator classes.
+
+    One kernel per class in the network's mix, shaped so the exhaustive
+    tier of the differential oracle (instance-set equality, interpreter
+    semantics, exact-simulation conservation) applies; the production-scale
+    suite from :func:`generate_network_suite` only gets the analytic tier.
+    Deterministic: shapes are fixed, no sampling.
+    """
+    spec = NETWORKS[network]
+    suite = []
+    for cls in spec.mix:
+        name = f"{network.lower()}_verify_{cls}"
+        suite.append((cls, _VERIFY_BUILDERS[cls](name)))
+    return suite

@@ -1,0 +1,25 @@
+"""Shared test configuration.
+
+Pins a deterministic hypothesis profile so the property tests draw the
+same examples on every machine: tier-1 and CI results stay reproducible,
+and a failing example reported by CI replays locally.  Set
+``HYPOTHESIS_PROFILE=dev`` to get fresh random examples while iterating.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is a dev extra; tier-1 runs without it
+    pass
+else:
+    settings.register_profile(
+        "repro",
+        deadline=None,
+        derandomize=True,   # examples derive from the test body, not a seed
+        print_blob=True,    # failures print a replayable @reproduce_failure
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

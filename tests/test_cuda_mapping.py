@@ -121,3 +121,45 @@ class TestThreadStripMine:
         mapped = map_to_gpu(kernel, ast, schedule, max_threads=8)
         assert mapped.n_threads_per_block == 8
         assert check_semantics(kernel, mapped.ast) == []
+
+
+def shifted_kernel(n, lower=2):
+    """One statement over i in [lower, N): exercises nonzero lower bounds
+    through mapping and simulation (corpus reproducer d73dcd39d0939e18)."""
+    kernel = Kernel("shifted", params={"N": n})
+    kernel.add_tensor("T", (n,))
+    kernel.add_statement("S", [("i", lower, "N")], writes=[("T", ["i"])])
+    return kernel
+
+
+class TestNonzeroLowerBounds:
+    def test_constant_extent_respects_min_lower(self):
+        from repro.codegen.cuda import _constant_extent
+        from repro.solver.problem import LinExpr
+        loop = Loop(var="t0", lowers=[LinExpr(const=2), LinExpr(const=0)],
+                    uppers=[LinExpr({"N": 1}, -1)], body=Seq([]))
+        loop.lower_is_min = False
+        assert _constant_extent(loop, {"N": 4}) == 2  # max(2,0)..3
+        loop.lower_is_min = True
+        assert _constant_extent(loop, {"N": 4}) == 4  # min(2,0)..3
+
+    def test_direct_thread_mapping_keeps_instances(self):
+        kernel = shifted_kernel(10)
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule, max_threads=64)
+        assert mapped.n_threads_per_block == 8
+        assert check_semantics(kernel, mapped.ast) == []
+        from repro.gpu import simulate_kernel
+        profile = simulate_kernel(mapped,
+                                  sample_blocks=max(1, mapped.n_blocks))
+        assert profile.flops == 8  # i in {2..9}, not raw indices {0..7}
+
+    def test_strip_mined_thread_loop_keeps_lower(self):
+        kernel = shifted_kernel(20)  # extent 18 > 4: strip-mined, ragged
+        schedule, ast = build(kernel)
+        mapped = map_to_gpu(kernel, ast, schedule, max_threads=4)
+        assert mapped.n_threads_per_block == 4
+        assert check_semantics(kernel, mapped.ast) == []
+        from repro.gpu import simulate_kernel
+        profile = simulate_kernel(mapped, sample_blocks=mapped.n_blocks)
+        assert profile.flops == 18

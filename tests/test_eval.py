@@ -108,3 +108,41 @@ class TestEndToEnd:
         # Every class present in the full suite appears in the sample
         # (there are at most 5 classes per network).
         assert full_classes == limited_classes
+
+
+class TestVerifyIntegration:
+    """`EvaluationConfig.verify` runs the oracle inside the evaluation loop."""
+
+    def test_evaluate_operator_verify_clean(self):
+        pipe = AkgPipeline(sample_blocks=2)
+        kernel = operators.reduce_producer_op("ver_ok", rows=256, red=8)
+        result = evaluate_operator(pipe, kernel.name, "reduce_producer",
+                                   kernel, verify=True)
+        assert result.verify_problems == []
+        assert result.status == "ok"
+
+    def test_verify_off_by_default(self):
+        pipe = AkgPipeline(sample_blocks=2)
+        kernel = operators.reduce_producer_op("ver_off", rows=256, red=8)
+        result = evaluate_operator(pipe, kernel.name, "reduce_producer",
+                                   kernel)
+        assert result.verify_problems == []
+
+    def test_evaluate_network_with_verify(self):
+        result = evaluate_network(
+            "LSTM", EvaluationConfig(limit_per_network=1, sample_blocks=2,
+                                     verify=True))
+        assert all(op.verify_problems == [] for op in result.operators)
+        assert all(op.status == "ok" for op in result.operators)
+
+    def test_verify_problems_mark_failed(self, monkeypatch):
+        import repro.eval.runner as runner_mod
+        from repro.verify import oracle as oracle_mod
+        monkeypatch.setattr(oracle_mod, "differential_oracle",
+                            lambda kernel, pipeline=None: ["drift detected"])
+        pipe = AkgPipeline(sample_blocks=2)
+        kernel = operators.reduce_producer_op("ver_bad", rows=256, red=8)
+        result = runner_mod.evaluate_operator(
+            pipe, kernel.name, "reduce_producer", kernel, verify=True)
+        assert result.verify_problems == ["drift detected"]
+        assert result.status == "failed"

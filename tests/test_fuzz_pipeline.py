@@ -28,6 +28,9 @@ from repro.schedule.analysis import verify_schedule
 ITER_POOL = ["i", "j", "k"]
 N = 4  # domain extent: small enough for exhaustive checking
 
+# Long hypothesis runs: deselected from tier-1, exercised by deep-verify.
+pytestmark = pytest.mark.fuzz
+
 
 @st.composite
 def kernels(draw) -> Kernel:

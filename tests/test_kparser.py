@@ -119,3 +119,47 @@ class TestErrors:
     def test_line_numbers_reported(self):
         msg = self.err("kernel k (N=4)\ntensor A[N]\n\nbogus line here")
         assert "line 4" in msg
+
+
+class TestErrorLineNumbers:
+    """Every parse error carries the offending line, both as a structured
+    ``line_no`` attribute and in the rendered message."""
+
+    def err_at(self, text):
+        with pytest.raises(KernelParseError) as info:
+            parse_kernel(text)
+        assert f"line {info.value.line_no}:" in str(info.value)
+        return info.value
+
+    def test_malformed_param_value(self):
+        error = self.err_at("kernel k (N=x)")
+        assert error.line_no == 1
+        assert "integer value" in str(error)
+
+    def test_unknown_extent_symbol(self):
+        error = self.err_at("kernel k (N=4)\ntensor A[M]")
+        assert error.line_no == 2
+        assert "extent" in str(error)
+
+    def test_nonpositive_extent(self):
+        error = self.err_at("kernel k (N=4)\ntensor A[N]\ntensor B[0]")
+        assert error.line_no == 3
+        assert "extent" in str(error)
+
+    def test_duplicate_statement_name(self):
+        error = self.err_at("kernel k (N=4)\ntensor A[N]\n"
+                            "S[i: 0..N]: A[i] = f()\n"
+                            "S[i: 0..N]: A[i] = f()")
+        assert error.line_no == 4
+        assert "already exists" in str(error)
+
+    def test_empty_subscript(self):
+        error = self.err_at("kernel k (N=4)\ntensor A[N]\n"
+                            "S[i: 0..N]: A[] = f()")
+        assert error.line_no == 3
+        assert "subscript" in str(error)
+
+    def test_malformed_bounds(self):
+        error = self.err_at("kernel k (N=4)\ntensor A[N]\n\n\n"
+                            "S[i = 0..N]: A[i] = f()")
+        assert error.line_no == 5

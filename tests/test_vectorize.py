@@ -56,6 +56,33 @@ class TestStripMining:
         assert not any(isinstance(n, Loop) and n.vector for n in walk(ast))
 
 
+class TestNonzeroLowerBounds:
+    """Strip-mining rebases the vector loop at zero; the rewritten body
+    must keep the original lower bound (corpus reproducer
+    51f9eedf702a45d3: instances shifted by the dropped lower)."""
+
+    def shifted_kernel(self, lower=2, cols=16):
+        kernel = Kernel("shifted", params={"M": 8, "N": cols})
+        kernel.add_tensor("A", (8, cols + lower))
+        kernel.add_tensor("B", (8, cols + lower))
+        kernel.add_statement("S", [("i", 0, "M"),
+                                   ("j", lower, f"N + {lower}")],
+                             writes=[("B", ["i", "j"])],
+                             reads=[("A", ["i", "j"])])
+        return kernel
+
+    def test_shifted_vector_loop_semantics(self):
+        kernel = self.shifted_kernel()
+        ast, _ = influenced_ast(kernel)
+        assert any(isinstance(n, Loop) and n.vector for n in walk(ast))
+        assert check_semantics(kernel, ast) == []
+
+    def test_shifted_novec_semantics(self):
+        kernel = self.shifted_kernel()
+        ast, _ = influenced_ast(kernel, enable=False)
+        assert check_semantics(kernel, ast) == []
+
+
 class TestDemotion:
     def test_indivisible_extent(self):
         ast, _ = influenced_ast(copy_kernel(15))  # 15 % 4, 15 % 2 != 0

@@ -1,0 +1,120 @@
+"""Fuzzer determinism, spec round-trips, minimization, and the tier-1
+corpus replay anchor."""
+
+import random
+
+import pytest
+
+from repro.ir.kparser import parse_kernel
+from repro.verify.fuzz import (
+    NOMINAL_CASES_PER_SECOND,
+    corpus_files,
+    replay_corpus,
+    run_fuzz,
+    spec_digest,
+    write_reproducer,
+)
+from repro.verify.generator import (
+    minimize_spec,
+    random_spec,
+    spec_to_kernel,
+    spec_to_text,
+)
+
+
+class TestGenerator:
+    def test_random_spec_is_seed_deterministic(self):
+        a = random_spec(random.Random(42), index=5)
+        b = random_spec(random.Random(42), index=5)
+        assert a == b
+
+    def test_spec_text_parses_to_equivalent_kernel(self):
+        for seed in range(6):
+            spec = random_spec(random.Random(seed), index=seed)
+            built = spec_to_kernel(spec)
+            parsed = parse_kernel(spec_to_text(spec))
+            assert parsed.name == built.name
+            assert parsed.params == built.params
+            assert [s.name for s in parsed.statements] \
+                == [s.name for s in built.statements]
+            for ps, bs in zip(parsed.statements, built.statements):
+                assert ps.iteration_points(parsed.params) \
+                    == bs.iteration_points(built.params)
+
+    def test_digest_is_content_keyed(self):
+        spec = random_spec(random.Random(1), index=1)
+        assert spec_digest(spec) == spec_digest(spec)
+        other = random_spec(random.Random(2), index=2)
+        assert spec_digest(spec) != spec_digest(other)
+
+
+class TestMinimize:
+    def test_shrinks_to_single_plain_statement(self):
+        # Predicate: "fails" whenever statement S0 is present, so the
+        # minimizer should strip everything else down to a bare S0.
+        spec = random_spec(random.Random(0), index=0)
+        assert len(spec.statements) > 1
+
+        def still_fails(candidate):
+            return any(s.name == "S0" for s in candidate.statements)
+
+        minimized = minimize_spec(spec, still_fails)
+        assert [s.name for s in minimized.statements] == ["S0"]
+        only = minimized.statements[0]
+        assert only.reads == ()
+        assert all(lo == 0 and hi == "N" for _, lo, hi in only.bounds)
+        assert minimized.weights_index == 0
+
+    def test_minimized_spec_still_builds(self):
+        spec = random_spec(random.Random(9), index=9)
+        minimized = minimize_spec(spec, lambda s: True)
+        spec_to_kernel(minimized).validate()
+
+
+class TestRun:
+    def test_same_seed_renders_bit_identical(self):
+        first = run_fuzz(seed=11, cases=3, write_corpus=False)
+        second = run_fuzz(seed=11, cases=3, write_corpus=False)
+        assert first.render() == second.render()
+
+    def test_budget_converts_to_case_count(self):
+        report = run_fuzz(seed=2, budget_s=2, write_corpus=False)
+        assert report.cases == 2 * NOMINAL_CASES_PER_SECOND
+
+    def test_reproducer_file_round_trips(self, tmp_path):
+        spec = random_spec(random.Random(4), index=4)
+        path = write_reproducer(spec, ["problem one", "problem two"],
+                                seed=4, case_index=4,
+                                corpus_dir=str(tmp_path))
+        assert path in corpus_files(str(tmp_path))
+        text = open(path).read()
+        assert f"# repro fuzz reproducer {spec_digest(spec)}" in text
+        assert "# found by: seed=4 case=4" in text
+        assert "# problem: problem one" in text
+        parsed = parse_kernel(text)  # header comments must not break replay
+        assert parsed.name == spec.name
+
+    @pytest.mark.fuzz
+    def test_budget_30_seed_7_bit_identical(self):
+        # The acceptance-criteria run, word for word.
+        first = run_fuzz(seed=7, budget_s=30, write_corpus=False)
+        second = run_fuzz(seed=7, budget_s=30, write_corpus=False)
+        assert first.render() == second.render()
+        assert first.ok, "\n" + first.render()
+
+
+class TestCorpusReplay:
+    """Tier-1 anchor: every committed reproducer stays green."""
+
+    def test_committed_corpus_exists(self):
+        assert corpus_files(), "tests/corpus/ must hold reproducers"
+
+    def test_committed_corpus_replays_clean(self):
+        problems = replay_corpus()
+        assert problems == [], "\n".join(problems)
+
+    def test_replay_flags_unparseable_files(self, tmp_path):
+        (tmp_path / "broken.kernel").write_text("kernel k (N=4)\nbroken")
+        problems = replay_corpus(str(tmp_path))
+        assert len(problems) == 1
+        assert "unparseable" in problems[0]

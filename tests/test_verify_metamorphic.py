@@ -1,0 +1,91 @@
+"""Metamorphic relations: the transformations are semantics-preserving and
+the checker holds on real operators (and flags rigged compiles)."""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.verify.generator import random_spec, spec_to_kernel
+from repro.verify.metamorphic import (
+    _compare_compiles,
+    fresh_renaming,
+    metamorphic_check,
+    rename_iterators,
+    reorder_statements,
+    scale_spec,
+)
+from repro.workloads import operators
+
+
+def small_op():
+    return operators.reduce_producer_op("meta_red", rows=16, red=4)
+
+
+class TestTransformations:
+    def test_fresh_renaming_avoids_collisions(self):
+        kernel = small_op()
+        mapping = fresh_renaming(kernel)
+        iterators = {it for s in kernel.statements for it in s.iterators}
+        assert set(mapping) == iterators
+        taken = set(kernel.params) | set(kernel.tensors) | iterators
+        assert not set(mapping.values()) & taken
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_rename_produces_valid_equivalent_kernel(self):
+        kernel = small_op()
+        mapping = fresh_renaming(kernel)
+        renamed = rename_iterators(kernel, mapping)
+        renamed.validate()
+        for original, copy in zip(kernel.statements, renamed.statements):
+            assert copy.iterators == [mapping[it]
+                                      for it in original.iterators]
+            assert copy.betas == original.betas
+            # Same iteration count, just different bound-variable names.
+            assert len(copy.iteration_points(renamed.params)) \
+                == len(original.iteration_points(kernel.params))
+
+    def test_reorder_keeps_betas(self):
+        kernel = small_op()
+        reordered = reorder_statements(
+            kernel, list(range(len(kernel.statements)))[::-1])
+        reordered.validate()
+        by_name = {s.name: s for s in kernel.statements}
+        for s in reordered.statements:
+            assert s.betas == by_name[s.name].betas
+
+    def test_scale_spec_scales_params_and_extents(self):
+        spec = random_spec(random.Random(3), index=3)
+        scaled = scale_spec(spec, factor=2)
+        assert scaled.params == tuple((p, 2 * v) for p, v in spec.params)
+        for (_, shape), (_, scaled_shape) in zip(spec.tensors,
+                                                 scaled.tensors):
+            assert scaled_shape == tuple(2 * d for d in shape)
+        spec_to_kernel(scaled).validate()
+
+
+class TestCheck:
+    def test_relations_hold_on_operator(self):
+        assert metamorphic_check(small_op()) == []
+
+    def test_relations_hold_on_spec_with_scaling(self):
+        spec = random_spec(random.Random(1), index=1)
+        assert metamorphic_check(spec) == []
+
+    def test_degradation_rung_change_is_flagged(self):
+        problems = []
+        base = SimpleNamespace(degradation="none", launches=[])
+        worse = SimpleNamespace(degradation="no-influence", launches=[])
+        _compare_compiles("rigged", base, worse, problems)
+        assert problems == ["rigged: degradation rung changed "
+                            "('none' -> 'no-influence')"]
+
+    def test_launch_count_change_is_flagged(self):
+        from repro.pipeline.akg import AkgPipeline
+        compiled = AkgPipeline().compile(small_op(), "isl")
+        dropped = SimpleNamespace(degradation=compiled.degradation,
+                                  launches=[])
+        problems = []
+        _compare_compiles("rigged", compiled, dropped, problems)
+        assert problems == [f"rigged: launch count changed "
+                            f"({len(compiled.launches)} -> 0)"]

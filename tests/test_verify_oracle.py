@@ -1,0 +1,108 @@
+"""Differential-oracle tests: clean operators, degradation rungs, and
+tamper detection via a stub pipeline."""
+
+import pytest
+
+from repro.faultinject import parse_plan, use_faults
+from repro.ir.kparser import parse_kernel
+from repro.pipeline.akg import AkgPipeline
+from repro.verify.oracle import (
+    differential_oracle,
+    domain_points,
+    instance_set,
+)
+from repro.workloads import operators
+
+# Fails both full-quality and no-influence attempts of the infl variant
+# (their compile site is tagged variant=infl), leaving only the
+# isl-baseline rung.
+TO_ISL_BASELINE = "compile=timeout@variant=infl"
+# Fails only the full-quality influenced attempt.
+TO_NO_INFLUENCE = "compile=timeout@variant=infl&influence=True"
+
+SHIFTED = """\
+kernel shifted_vec (N=8)
+tensor In1[12]
+tensor T0[12]
+S0[i: 2..N + 2]: T0[i] = f(In1[i], T0[i])
+"""
+
+
+def small_op():
+    return operators.elementwise_chain_op("oracle_small", rows=16, cols=8,
+                                          length=2, extra_inputs=1)
+
+
+class TestCleanOracle:
+    def test_small_operator_passes_exhaustively(self):
+        assert differential_oracle(small_op()) == []
+
+    def test_large_operator_gets_analytic_tier(self):
+        kernel = operators.elementwise_chain_op("oracle_large", rows=4096,
+                                                cols=64)
+        assert domain_points(kernel) is None
+        assert differential_oracle(kernel) == []
+
+    def test_misaligned_vector_start_allowed(self):
+        # A vector loop starting at i=2 straddles one extra transaction
+        # per group; the transaction bound must not fire on it.
+        assert differential_oracle(parse_kernel(SHIFTED)) == []
+
+
+class TestDegradationRungs:
+    def test_no_influence_rung_passes(self):
+        with use_faults(parse_plan(TO_NO_INFLUENCE)):
+            pipeline = AkgPipeline()
+            kernel = small_op()
+            assert pipeline.compile(kernel, "infl").degradation \
+                == "no-influence"
+            assert differential_oracle(kernel, pipeline=pipeline) == []
+
+    def test_isl_baseline_rung_passes_and_matches_baseline(self):
+        with use_faults(parse_plan(TO_ISL_BASELINE)):
+            pipeline = AkgPipeline()
+            kernel = small_op()
+            compiled = pipeline.compile(kernel, "infl")
+            assert compiled.degradation == "isl-baseline"
+            assert differential_oracle(kernel, pipeline=pipeline) == []
+
+    def test_total_failure_reported_not_raised(self):
+        with use_faults(parse_plan("compile=timeout")):
+            problems = differential_oracle(small_op(),
+                                           pipeline=AkgPipeline())
+        assert problems
+        assert all("compilation failed after full ladder" in p
+                   for p in problems)
+
+
+class _TamperedPipeline:
+    """Returns the honest isl compile, but hands out a compile of a
+    *different* (smaller) kernel as the influenced variant."""
+
+    def __init__(self, impostor):
+        self._real = AkgPipeline()
+        self._impostor = impostor
+        self.arch = self._real.arch
+
+    def compile(self, kernel, variant):
+        if variant == "infl":
+            return self._real.compile(self._impostor, variant)
+        return self._real.compile(kernel, variant)
+
+
+class TestTamperDetection:
+    def test_missing_statement_detected(self):
+        kernel = operators.elementwise_chain_op("tamper", rows=16, cols=8,
+                                                length=2)
+        impostor = operators.elementwise_chain_op("tamper", rows=16, cols=8,
+                                                  length=1)
+        problems = differential_oracle(kernel,
+                                       pipeline=_TamperedPipeline(impostor))
+        assert any("instance sets differ" in p for p in problems)
+
+    def test_instance_set_is_variant_independent_when_honest(self):
+        kernel = small_op()
+        pipeline = AkgPipeline()
+        isl = pipeline.compile(kernel, "isl")
+        infl = pipeline.compile(kernel, "infl")
+        assert instance_set(isl) == instance_set(infl)

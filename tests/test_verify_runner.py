@@ -1,0 +1,102 @@
+"""`run_verify` orchestration and the `repro verify` / `repro fuzz` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify.runner import VerifyConfig, run_verify
+
+# One small network, goldens engine only: the oracle/metamorphic/corpus
+# engines have their own suites, and this keeps the runner tests fast.
+GOLDENS_ONLY = dict(networks=("LSTM",), limit=1, sample_blocks=1,
+                    check_oracle=False, check_metamorphic=False,
+                    check_corpus=False)
+
+
+class TestRunVerify:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            run_verify(VerifyConfig(networks=("AlexNet",)))
+
+    def test_missing_golden_is_a_problem(self, tmp_path):
+        report = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                         **GOLDENS_ONLY))
+        assert not report.ok
+        assert any("no golden committed" in p
+                   for p in report.problems["golden/LSTM"])
+        assert "no golden committed" in report.render()
+
+    def test_update_then_check_round_trip(self, tmp_path):
+        blessed = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                          update_goldens=True,
+                                          **GOLDENS_ONLY))
+        assert blessed.ok
+        assert len(blessed.updated_goldens) == 1
+        assert "blessed" in blessed.render()
+        checked = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                          **GOLDENS_ONLY))
+        assert checked.ok, checked.render()
+
+    def test_tampered_golden_fails_check(self, tmp_path):
+        run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                update_goldens=True, **GOLDENS_ONLY))
+        path = tmp_path / "LSTM.json"
+        doc = json.loads(path.read_text())
+        op = next(iter(doc["operators"].values()))
+        op["variants"]["infl"]["n_launches"] += 1
+        path.write_text(json.dumps(doc))
+        report = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                         **GOLDENS_ONLY))
+        assert not report.ok
+        assert any("n_launches" in p for p in report.problems["golden/LSTM"])
+
+
+class TestVerifyCli:
+    def test_update_then_verify_exit_codes(self, tmp_path, capsys):
+        args = ["verify", "--networks", "LSTM", "--limit", "1",
+                "--sample-blocks", "1", "--goldens-dir", str(tmp_path),
+                "--no-oracle", "--no-metamorphic", "--no-corpus"]
+        assert main(args + ["--update-goldens"]) == 0
+        assert "blessed" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_missing_goldens_exit_nonzero(self, tmp_path, capsys):
+        code = main(["verify", "--networks", "LSTM", "--limit", "1",
+                     "--sample-blocks", "1", "--goldens-dir",
+                     str(tmp_path / "empty"), "--no-oracle",
+                     "--no-metamorphic", "--no-corpus"])
+        assert code == 1
+        assert "no golden committed" in capsys.readouterr().out
+
+    def test_unknown_network_exit_two(self, capsys):
+        assert main(["verify", "--networks", "AlexNet"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_metrics_export(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["verify", "--networks", "LSTM", "--limit", "1",
+                     "--sample-blocks", "1", "--no-goldens", "--no-corpus",
+                     "--no-metamorphic", "--metrics",
+                     str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["counters"]["verify.runs"] == 1
+        assert payload["counters"]["verify.oracle.operators"] > 0
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        assert main(["fuzz", "--seed", "3", "--cases", "2",
+                     "--corpus-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: seed=3 cases=2 failures=0" in out
+        assert not list(tmp_path.iterdir())  # no failures -> no reproducers
+
+    def test_render_is_deterministic_across_invocations(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--cases", "2",
+                     "--no-corpus"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--seed", "5", "--cases", "2",
+                     "--no-corpus"]) == 0
+        assert capsys.readouterr().out == first
