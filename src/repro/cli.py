@@ -52,6 +52,7 @@ from repro.pipeline import (
     merge_metric_dicts,
 )
 from repro.schedule import SchedulerOptions
+from repro.solver.backend import available_backends, resolve_backend
 from repro.solver.budget import SolveBudget
 from repro.verify import VerifyConfig, run_fuzz, run_verify
 from repro.workloads import NETWORKS
@@ -117,8 +118,10 @@ def _export_observability(args, metric_payloads: list) -> None:
 
 def _cmd_compile(args) -> int:
     kernel = parse_kernel_file(args.file)
+    options = SchedulerOptions(solver=args.solver) if args.solver else None
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
-                           max_threads=args.max_threads)
+                           max_threads=args.max_threads,
+                           scheduler_options=options)
     variants = VARIANTS if args.all_variants else (args.variant,)
     baseline = None
     for variant in variants:
@@ -181,7 +184,8 @@ def _cmd_table2(args) -> int:
         jobs=max(args.jobs, 1),
         trace=bool(args.trace),
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
-        verify=args.verify)
+        verify=args.verify,
+        solver=args.solver)
     results = []
     try:
         for network in networks:
@@ -249,9 +253,10 @@ def _cmd_profile(args) -> int:
                      args.network, list(NETWORKS))
         return 2
     options = None
-    if args.deadline_ms > 0:
-        options = SchedulerOptions(budget=SolveBudget(
-            deadline_s=args.deadline_ms / 1000.0))
+    if args.deadline_ms > 0 or args.solver:
+        budget = (SolveBudget(deadline_s=args.deadline_ms / 1000.0)
+                  if args.deadline_ms > 0 else None)
+        options = SchedulerOptions(budget=budget, solver=args.solver)
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
                            max_threads=args.max_threads,
                            scheduler_options=options,
@@ -274,7 +279,9 @@ def _cmd_profile(args) -> int:
                 degraded.append((kernel.name, compiled.degradation))
             timing = pipeline.measure(compiled)
             profiles.extend(timing.profiles)
+        backend = resolve_backend(args.solver)
         print(f"profile report — {network}, variant {args.variant}, "
+              f"solver {backend.name}, "
               f"{len(suite)} operator(s), {len(profiles)} kernel launch(es)")
         print()
         print(pipeline.context.format_summary())
@@ -351,6 +358,13 @@ def _cmd_fuzz(args) -> int:
 # -- the parser ---------------------------------------------------------------
 
 
+def _add_solver_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--solver", default="", metavar="NAME",
+                        help="solver backend (registered: "
+                             f"{', '.join(available_backends())}; "
+                             "default: $REPRO_SOLVER or 'simplex')")
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default="", metavar="FILE",
                         help="write the structured trace log as JSON")
@@ -383,6 +397,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="run the GPU model and print times")
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--max-threads", type=int, default=256)
+    _add_solver_argument(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("scenarios",
@@ -413,6 +428,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-degraded", action="store_true",
                    help="exit 0 even when operators compiled at reduced "
                         "quality via the degradation ladder")
+    _add_solver_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_table2)
 
@@ -430,6 +446,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=0.0,
                    help="wall-clock solve budget per scheduling attempt "
                         "(0 = unlimited)")
+    _add_solver_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=_cmd_profile)
 
@@ -482,6 +499,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     configure_logging(args.verbose - args.quiet)
+    try:
+        resolve_backend(getattr(args, "solver", ""))  # fail fast, clean message
+    except ValueError as exc:
+        logger.error("error: %s", exc)
+        return 2
     try:
         return args.func(args)
     except KernelParseError as exc:

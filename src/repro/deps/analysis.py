@@ -14,6 +14,7 @@ and split it by precedence level so each emitted
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from itertools import product
 from typing import Iterable
@@ -25,9 +26,18 @@ from repro.deps.relation import (
     target_dim,
 )
 from repro.ir.kernel import Kernel
+from repro.ir.signature import kernel_signature
 from repro.ir.statement import Statement
 from repro.sets.polyhedron import Polyhedron
 from repro.solver.problem import Constraint, LinExpr, var
+
+# Content-keyed memo over whole kernels, the same aliasing contract as the
+# pipeline's ScheduleCache: every consumer reads relations through statement
+# *names*, so an entry built from one kernel object serves every
+# content-equal kernel.  Entries are immutable tuples; callers get a fresh
+# list so mutating a result cannot corrupt the memo.
+_DEPENDENCES_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_DEPENDENCES_MEMO_MAX = 512
 
 
 def _interleaved_exprs(statement: Statement, suffix: str) -> list[LinExpr]:
@@ -116,6 +126,11 @@ def compute_dependences(kernel: Kernel,
     validity requirement but sharpen the proximity (reuse distance) cost —
     the paper considers them for proximity (Section IV-A-2).
     """
+    key = (kernel_signature(kernel), include_input)
+    cached = _DEPENDENCES_MEMO.get(key)
+    if cached is not None:
+        _DEPENDENCES_MEMO.move_to_end(key)
+        return list(cached)
     params = kernel.parameter_names
     relations: list[DependenceRelation] = []
     for source, target in product(kernel.statements, repeat=2):
@@ -136,4 +151,7 @@ def compute_dependences(kernel: Kernel,
                     source=source, target=target, kind=kind,
                     polyhedron=poly, level=level,
                     source_access=src_access, target_access=tgt_access))
+    _DEPENDENCES_MEMO[key] = tuple(relations)
+    while len(_DEPENDENCES_MEMO) > _DEPENDENCES_MEMO_MAX:
+        _DEPENDENCES_MEMO.popitem(last=False)
     return relations

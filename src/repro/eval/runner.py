@@ -45,6 +45,8 @@ from repro.pipeline.akg import AkgPipeline, VARIANTS
 from repro.pipeline.passes import PassContext, merge_metric_dicts
 from repro.schedule.scheduler import SchedulerOptions
 from repro.solver.budget import SolveBudget
+from repro.solver.dedup import SolveCache, use_solve_cache
+from repro.solver.warmstart import WarmStartPool, use_warm_pool
 from repro.workloads.generator import generate_network_suite
 from repro.workloads.networks import NETWORKS
 
@@ -65,6 +67,7 @@ class EvaluationConfig:
     trace: bool = False    # record structured pass-trace events
     deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
     verify: bool = False   # run the differential oracle on every operator
+    solver: str = ""       # backend name; "" = REPRO_SOLVER env / default
 
 
 @dataclass
@@ -148,9 +151,10 @@ class NetworkResult:
 
 def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
     options = None
-    if config.deadline_ms:
-        options = SchedulerOptions(budget=SolveBudget(
-            deadline_s=config.deadline_ms / 1000.0))
+    if config.deadline_ms or config.solver:
+        budget = (SolveBudget(deadline_s=config.deadline_ms / 1000.0)
+                  if config.deadline_ms else None)
+        options = SchedulerOptions(budget=budget, solver=config.solver)
     return AkgPipeline(arch=config.arch, max_threads=config.max_threads,
                        sample_blocks=config.sample_blocks,
                        weights=config.weights,
@@ -180,28 +184,36 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     degradation: dict[str, str] = {}
     errors: list[str] = []
     vectorized = False
-    for variant in VARIANTS:
-        try:
-            compiled = pipeline.compile(kernel, variant)
-        except ReproError as exc:
-            errors.append(f"{variant}: {type(exc).__name__}: {exc}")
-            pipeline.context.count("resilience.variant_failures")
-            logger.warning("operator %s variant %s failed: %s",
-                           name, variant, exc)
-            continue
-        timing = pipeline.measure(compiled)
-        times[variant] = timing.time
-        launches[variant] = compiled.n_launches
-        signatures[variant] = compiled.signature()
-        stats[variant] = compiled.scheduler_stats
-        if compiled.degradation != "none":
-            degradation[variant] = compiled.degradation
-        if variant == "infl":
-            vectorized = compiled.vectorized
-    verify_problems: list[str] = []
-    if verify and not errors:
-        from repro.verify.oracle import differential_oracle
-        verify_problems = differential_oracle(kernel, pipeline=pipeline)
+    # One solver reuse scope across all four variants of this operator:
+    # identical constraint systems (e.g. novec vs infl) replay from the
+    # dedup cache, and near-identical ones (per-cluster and per-statement
+    # sub-problems of the same kernel) share warm-start incumbent bounds.
+    # Scoping at the operator keeps serial and parallel evaluation
+    # metric-identical — either way an operator is evaluated wholly inside
+    # one process, with the scope freshly installed.
+    with use_solve_cache(SolveCache()), use_warm_pool(WarmStartPool()):
+        for variant in VARIANTS:
+            try:
+                compiled = pipeline.compile(kernel, variant)
+            except ReproError as exc:
+                errors.append(f"{variant}: {type(exc).__name__}: {exc}")
+                pipeline.context.count("resilience.variant_failures")
+                logger.warning("operator %s variant %s failed: %s",
+                               name, variant, exc)
+                continue
+            timing = pipeline.measure(compiled)
+            times[variant] = timing.time
+            launches[variant] = compiled.n_launches
+            signatures[variant] = compiled.signature()
+            stats[variant] = compiled.scheduler_stats
+            if compiled.degradation != "none":
+                degradation[variant] = compiled.degradation
+            if variant == "infl":
+                vectorized = compiled.vectorized
+        verify_problems: list[str] = []
+        if verify and not errors:
+            from repro.verify.oracle import differential_oracle
+            verify_problems = differential_oracle(kernel, pipeline=pipeline)
     status = ("failed" if errors or verify_problems
               else ("degraded" if degradation else "ok"))
     return OperatorResult(

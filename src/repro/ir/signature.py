@@ -1,0 +1,58 @@
+"""Canonical content signatures of kernel IR.
+
+The signature is the content-equality key used by every content-keyed
+cache in the stack (the pipeline's schedule cache, the dependence-analysis
+memo): a canonical, hashable rendering of the IR — parameters, statement
+structure, iteration domains, accesses with tensor shapes and dtypes —
+with kernel *names* deliberately excluded (generated operators carry
+unique names; distributed baselines suffix ``_k0`` per cluster).
+
+Constraint order inside iteration domains is kept (not sorted away): the
+ILP's variable/constraint layout follows it, and two kernels must only
+share cached results when the whole solve is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.access import Access
+    from repro.ir.kernel import Kernel
+    from repro.ir.statement import Statement
+    from repro.sets.polyhedron import Polyhedron
+
+
+def _domain_signature(domain: "Polyhedron") -> tuple:
+    constraints = tuple((c.sense, c.expr.signature())
+                        for c in domain.constraints)
+    return (tuple(domain.dims), constraints)
+
+
+def _access_signature(access: "Access") -> tuple:
+    tensor = access.tensor
+    return (tensor.name, tensor.shape, tensor.dtype, access.is_write,
+            tuple(s.signature() for s in access.subscripts))
+
+
+def _statement_signature(statement: "Statement") -> tuple:
+    return (statement.name,
+            tuple(statement.iterators),
+            _domain_signature(statement.domain),
+            tuple(statement.betas),
+            statement.flops,
+            tuple(_access_signature(a) for a in statement.writes),
+            tuple(_access_signature(a) for a in statement.reads))
+
+
+def kernel_signature(kernel: "Kernel") -> tuple:
+    """Canonical, hashable content signature of a kernel.
+
+    Excludes the kernel name; preserves parameter and statement order
+    (both feed the scheduler's variable ordering).  Tensors enter through
+    the accesses that reference them, so unused declarations — e.g. the
+    parent tensors shared into a distributed sub-kernel — do not split
+    otherwise-equal entries.
+    """
+    return (tuple(kernel.params.items()),
+            tuple(_statement_signature(s) for s in kernel.statements))

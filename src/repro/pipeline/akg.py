@@ -9,6 +9,7 @@ the per-pass instrumentation and the content-keyed schedule cache.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -28,6 +29,8 @@ from repro.pipeline.passes import (
     variant_passes,
 )
 from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
+from repro.solver.dedup import SolveCache, get_solve_cache, use_solve_cache
+from repro.solver.warmstart import WarmStartPool, get_warm_pool, use_warm_pool
 
 VARIANTS = ("isl", "tvm", "novec", "infl")
 
@@ -209,6 +212,24 @@ class AkgPipeline:
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
         attempts = self._attempts(kernel, variant)
+        # One solve cache and warm-start pool per compile: degradation rungs
+        # re-pose many of the same dimension ILPs (and the tvm variant's
+        # per-statement clusters overlap heavily), so identical systems
+        # replay and near-identical ones share incumbent bounds.  The scope
+        # is at most per-operator, never per-session: each operator's
+        # evaluation happens wholly inside one process in both serial and
+        # parallel evaluation, keeping their metric streams identical.  When
+        # a wider per-operator scope is already installed (the evaluation
+        # runner wraps all four variants), reuse it instead of shadowing it.
+        with ExitStack() as scopes:
+            if get_solve_cache() is None:
+                scopes.enter_context(use_solve_cache(SolveCache()))
+            if get_warm_pool() is None:
+                scopes.enter_context(use_warm_pool(WarmStartPool()))
+            return self._compile_attempts(kernel, variant, attempts)
+
+    def _compile_attempts(self, kernel: Kernel, variant: str,
+                          attempts) -> CompiledOperator:
         last_error: Optional[ReproError] = None
         for level, tag, clusters, influence, enable_vec in attempts:
             try:

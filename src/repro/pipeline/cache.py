@@ -29,51 +29,11 @@ from dataclasses import astuple, dataclass
 from typing import Optional
 
 from repro.influence.scenarios import CostWeights
-from repro.ir.access import Access
 from repro.ir.kernel import Kernel
-from repro.ir.statement import Statement
+from repro.ir.signature import kernel_signature
 from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
-from repro.sets.polyhedron import Polyhedron
-from repro.solver.problem import LinExpr
 
-
-def _expr_signature(expr: LinExpr) -> tuple:
-    return (tuple(sorted(expr.coeffs.items())), expr.const)
-
-
-def _domain_signature(domain: Polyhedron) -> tuple:
-    constraints = tuple((c.sense, _expr_signature(c.expr))
-                        for c in domain.constraints)
-    return (tuple(domain.dims), constraints)
-
-
-def _access_signature(access: Access) -> tuple:
-    tensor = access.tensor
-    return (tensor.name, tensor.shape, tensor.dtype, access.is_write,
-            tuple(_expr_signature(s) for s in access.subscripts))
-
-
-def _statement_signature(statement: Statement) -> tuple:
-    return (statement.name,
-            tuple(statement.iterators),
-            _domain_signature(statement.domain),
-            tuple(statement.betas),
-            statement.flops,
-            tuple(_access_signature(a) for a in statement.writes),
-            tuple(_access_signature(a) for a in statement.reads))
-
-
-def kernel_signature(kernel: Kernel) -> tuple:
-    """Canonical, hashable content signature of a kernel.
-
-    Excludes the kernel name; preserves parameter and statement order
-    (both feed the scheduler's variable ordering).  Tensors enter through
-    the accesses that reference them, so unused declarations — e.g. the
-    parent tensors shared into a distributed sub-kernel — do not split
-    otherwise-equal entries.
-    """
-    return (tuple(kernel.params.items()),
-            tuple(_statement_signature(s) for s in kernel.statements))
+__all__ = ["ScheduleCache", "ScheduleCacheEntry", "kernel_signature"]
 
 
 @dataclass

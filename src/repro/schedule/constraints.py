@@ -26,7 +26,7 @@ from repro.ir.statement import Statement
 from repro.linalg.hermite import orthogonal_complement_or_identity
 from repro.schedule.farkas import SymbolicAffineForm, add_farkas_nonneg
 from repro.schedule.functions import ScheduleRow
-from repro.solver.problem import LinExpr, Problem, var
+from repro.solver.problem import Constraint, LinExpr, Problem, var
 
 
 def iter_coeff_name(stmt: str, index: int) -> str:
@@ -55,6 +55,35 @@ class DimensionProblem:
         self._declare_schedule_variables()
         self._u_vars: Optional[dict[str, LinExpr]] = None
         self._w_var: Optional[LinExpr] = None
+        #: Full assignment of the most recent successful :meth:`solve` (for
+        #: warm-start handles); ``None`` until solved or when infeasible.
+        self.last_assignment: Optional[dict] = None
+
+    def fork(self) -> "DimensionProblem":
+        """Independent copy sharing the constraints built so far.
+
+        The scheduler builds validity + proximity once per dimension and
+        forks before layering coincidence or progression on top, instead of
+        re-linearizing everything for each retry.  The fork continues the
+        Farkas prefix counter, so constraint/variable naming matches what a
+        from-scratch build would produce.
+        """
+        copy = DimensionProblem.__new__(DimensionProblem)
+        copy.statements = self.statements
+        copy.params = self.params
+        copy.coeff_bound = self.coeff_bound
+        copy.const_bound = self.const_bound
+        copy.problem = self.problem.clone()
+        copy._farkas_counter = self._farkas_counter
+        copy._u_vars = self._u_vars
+        copy._w_var = self._w_var
+        copy.last_assignment = None
+        return copy
+
+    @property
+    def last_basis(self):
+        """Final simplex basis of the most recent solve (opaque)."""
+        return self.problem.last_basis
 
     # -- variables -----------------------------------------------------------
 
@@ -150,6 +179,8 @@ class DimensionProblem:
         zero or dependent row, as in Pluto); statements in ``skip`` are
         exempted (influence-tree ``allow_zero`` meta)."""
         skip = skip or set()
+        one = Fraction(1)
+        zero = Fraction(0)
         for s in self.statements:
             if s.name in skip:
                 continue
@@ -158,22 +189,26 @@ class DimensionProblem:
                 if s.depth else []
             if not basis:
                 continue
-            coeff_vars = [var(iter_coeff_name(s.name, k)) for k in range(s.depth)]
+            coeff_names = [iter_coeff_name(s.name, k) for k in range(s.depth)]
             # Eq. (3): sum of iterator coefficients >= 1.
-            total = LinExpr()
-            for cv in coeff_vars:
-                total = total + cv
-            self.problem.add_constraint(total >= 1)
+            self.problem.add_constraint(Constraint(
+                LinExpr._raw({n: one for n in coeff_names}, Fraction(-1)),
+                ">="))
             # Eq. (4): each complement component nonnegative, their sum >= 1.
-            sum_components = LinExpr()
+            sums: dict[str, Fraction] = {}
             for row in basis:
-                component = LinExpr()
-                for value, cv in zip(row, coeff_vars):
+                component = {n: Fraction(value)
+                             for value, n in zip(row, coeff_names) if value}
+                self.problem.add_constraint(
+                    Constraint(LinExpr._raw(component, zero), ">="))
+                for n, v in component.items():
+                    value = sums.get(n, zero) + v
                     if value:
-                        component = component + value * cv
-                self.problem.add_constraint(component >= 0)
-                sum_components = sum_components + component
-            self.problem.add_constraint(sum_components >= 1)
+                        sums[n] = value
+                    else:
+                        sums.pop(n, None)
+            self.problem.add_constraint(
+                Constraint(LinExpr._raw(sums, Fraction(-1)), ">="))
 
     def add_raw_constraints(self, constraints) -> None:
         """Inject externally built constraints (the influence mechanism).
@@ -192,28 +227,35 @@ class DimensionProblem:
         """The isl-style lexicographic objective (Section IV-A-2):
         ``(sum_i u_i, w, sum of iterator coeffs, sum of parameter coeffs,
         sum of constants)``."""
+        one = Fraction(1)
+        zero = Fraction(0)
         levels: list[LinExpr] = []
         if self._u_vars is not None:
-            u_total = LinExpr()
+            u_total: dict[str, Fraction] = {}
             for p in self.params:
-                u_total = u_total + self._u_vars[p]
-            levels.append(u_total)
+                for n, c in self._u_vars[p].coeffs.items():
+                    u_total[n] = u_total.get(n, zero) + c
+            levels.append(LinExpr._raw(
+                {n: c for n, c in u_total.items() if c}, zero))
             levels.append(self._w_var.copy())
-        iter_total = LinExpr()
-        param_total = LinExpr()
-        const_total = LinExpr()
+        iter_total: dict[str, Fraction] = {}
+        param_total: dict[str, Fraction] = {}
+        const_total: dict[str, Fraction] = {}
         for s in self.statements:
             for k in range(s.depth):
-                iter_total = iter_total + var(iter_coeff_name(s.name, k))
+                iter_total[iter_coeff_name(s.name, k)] = one
             for p in self.params:
-                param_total = param_total + var(param_coeff_name(s.name, p))
-            const_total = const_total + var(const_coeff_name(s.name))
-        levels.extend([iter_total, param_total, const_total])
+                param_total[param_coeff_name(s.name, p)] = one
+            const_total[const_coeff_name(s.name)] = one
+        levels.extend([LinExpr._raw(iter_total, zero),
+                       LinExpr._raw(param_total, zero),
+                       LinExpr._raw(const_total, zero)])
         return levels
 
     def solve(self, extra_objectives: Sequence[LinExpr] = (),
               injected_objectives: Sequence[LinExpr] = (),
-              max_nodes: int = 60_000) -> Optional[dict[str, list[int]]]:
+              max_nodes: int = 60_000,
+              warm=None, backend=None) -> Optional[dict[str, list[int]]]:
         """Solve the dimension ILP; returns per-statement coefficient rows
         ``[iter_coeffs..., param_coeffs..., const]`` or None.
 
@@ -223,6 +265,10 @@ class DimensionProblem:
         objective is folded into a single weighted expression when all its
         variables are bounded (they are, by construction), so one
         branch-and-bound run decides the dimension.
+
+        ``warm``/``backend`` are forwarded to ``Problem.solve`` — prior
+        solutions offered through a warm-start handle tighten the
+        branch-and-bound incumbent without changing the result.
         """
         levels = self.objectives()
         if injected_objectives:
@@ -232,9 +278,12 @@ class DimensionProblem:
         folded = self.problem.fold_objectives(levels)
         if folded is not None:
             assignment = self.problem.solve(objective=folded,
-                                            max_nodes=max_nodes)
+                                            max_nodes=max_nodes,
+                                            warm=warm, backend=backend)
         else:
-            assignment = self.problem.lexmin(levels, max_nodes=max_nodes)
+            assignment = self.problem.lexmin(levels, max_nodes=max_nodes,
+                                             warm=warm, backend=backend)
+        self.last_assignment = assignment
         if assignment is None:
             return None
         out: dict[str, list[int]] = {}

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
+from repro.obs.runtime import get_obs
 from repro.sets.polyhedron import Polyhedron
 from repro.solver.problem import Constraint, LinExpr, Problem, var
 
@@ -66,7 +67,9 @@ def _normalized_inequalities(poly: Polyhedron) -> tuple[list[LinExpr], list[LinE
             equalities.append(c.expr)
             continue
         expr = c.expr if c.sense == ">=" else -c.expr
-        key = (tuple(sorted(expr.coeffs.items())), expr.const)
+        key = (tuple(sorted((n, v.numerator, v.denominator)
+                            for n, v in expr.coeffs.items())),
+               expr.const.numerator, expr.const.denominator)
         if key not in seen:
             seen.add(key)
             inequalities.append(expr)
@@ -86,6 +89,7 @@ def _eliminate_equalities(dims: list[str], equalities: list[LinExpr],
     equalities = [e.copy() for e in equalities]
     inequalities = [e.copy() for e in inequalities]
 
+    zero = Fraction(0)
     while equalities:
         equality = equalities.pop()
         pivot = next((d for d in dims if equality.coeffs.get(d)), None)
@@ -95,17 +99,24 @@ def _eliminate_equalities(dims: list[str], equalities: list[LinExpr],
             continue
         k = equality.coeffs[pivot]
         # pivot = substitution where equality = k*pivot + rest == 0.
-        rest = LinExpr({n: c for n, c in equality.coeffs.items() if n != pivot},
-                       equality.const)
-        substitution = (-1 / k) * rest
+        scale = -1 / k
+        substitution = LinExpr._raw(
+            {n: scale * c for n, c in equality.coeffs.items() if n != pivot},
+            scale * equality.const)
 
         def substitute(expr: LinExpr) -> LinExpr:
             c = expr.coeffs.get(pivot)
             if not c:
                 return expr
-            without = LinExpr({n: v for n, v in expr.coeffs.items() if n != pivot},
-                              expr.const)
-            return without + c * substitution
+            # ``without + c * substitution`` without the intermediate copies.
+            merged = {n: v for n, v in expr.coeffs.items() if n != pivot}
+            for n, v in substitution.coeffs.items():
+                value = merged.get(n, zero) + c * v
+                if value:
+                    merged[n] = value
+                else:
+                    merged.pop(n, None)
+            return LinExpr._raw(merged, expr.const + c * substitution.const)
 
         equalities = [substitute(e) for e in equalities]
         inequalities = [substitute(e) for e in inequalities]
@@ -129,6 +140,55 @@ def _eliminate_equalities(dims: list[str], equalities: list[LinExpr],
     return dims, kept, form
 
 
+# The same (polyhedron, symbolic form) pair is linearized over and over:
+# coincidence/plain retries, sibling fallbacks and the tvm variant's
+# per-statement clusters all rebuild identical dimension problems.  The
+# normalization + equality-elimination half of the work depends only on
+# content, so it is memoized process-wide (same lifetime argument as
+# ``repro.sets.polyhedron._EMPTINESS_CACHE``: forked evaluation workers
+# inherit the warm cache, keeping serial and parallel metric streams equal).
+#
+# Keys must preserve *order* — constraint order and coefficient insertion
+# order — because ``_eliminate_equalities`` picks pivots in encounter order,
+# so differently-ordered-but-equal systems may reduce differently.  Cached
+# triples are immutable by contract: ``add_farkas_nonneg`` only reads them.
+_LINEARIZATION_CACHE: dict = {}
+_LINEARIZATION_CACHE_MAX = 50_000
+
+
+def _linearize(poly: Polyhedron, form: SymbolicAffineForm
+               ) -> tuple[list[str], list[LinExpr], SymbolicAffineForm]:
+    # Fractions are flattened to (numerator, denominator) int pairs: unique
+    # representation, and int tuples hash far faster than Fractions.
+    def sig(e: LinExpr) -> tuple:
+        return (tuple((n, c.numerator, c.denominator)
+                      for n, c in e.coeffs.items()),
+                e.const.numerator, e.const.denominator)
+
+    key = (
+        tuple(poly.dims),
+        tuple((c.sense, sig(c.expr)) for c in poly.constraints),
+        tuple((d, sig(e)) for d, e in form.coeffs.items()),
+        sig(form.const),
+    )
+    metrics = get_obs().metrics
+    cached = _LINEARIZATION_CACHE.get(key)
+    if cached is not None:
+        if metrics.enabled:
+            metrics.count("solver.farkas.hits")
+        dims, inequalities, reduced_form = cached
+        return list(dims), inequalities, reduced_form
+    if metrics.enabled:
+        metrics.count("solver.farkas.misses")
+    equalities, inequalities = _normalized_inequalities(poly)
+    dims, inequalities, reduced_form = _eliminate_equalities(
+        poly.dims, equalities, inequalities, form)
+    if len(_LINEARIZATION_CACHE) >= _LINEARIZATION_CACHE_MAX:
+        _LINEARIZATION_CACHE.clear()
+    _LINEARIZATION_CACHE[key] = (dims, inequalities, reduced_form)
+    return list(dims), inequalities, reduced_form
+
+
 def add_farkas_nonneg(problem: Problem, prefix: str, poly: Polyhedron,
                       form: SymbolicAffineForm) -> int:
     """Add constraints to ``problem`` making ``form(x) >= 0`` hold on ``poly``.
@@ -137,29 +197,36 @@ def add_farkas_nonneg(problem: Problem, prefix: str, poly: Polyhedron,
     ``{prefix}.l0`` for the constant multiplier).  Returns the number of
     multiplier variables introduced.  ``prefix`` must be unique per call.
     """
-    equalities, inequalities = _normalized_inequalities(poly)
-    dims, inequalities, form = _eliminate_equalities(
-        poly.dims, equalities, inequalities, form)
+    dims, inequalities, form = _linearize(poly, form)
 
-    lambda0 = problem.add_variable(f"{prefix}.l0", lower=0, integer=False)
-    multipliers = []
+    lambda0_name = f"{prefix}.l0"
+    problem.add_variable(lambda0_name, lower=0, integer=False)
+    multiplier_names = []
     for k, _ in enumerate(inequalities):
-        multipliers.append(
-            problem.add_variable(f"{prefix}.l{k + 1}", lower=0, integer=False))
+        name = f"{prefix}.l{k + 1}"
+        problem.add_variable(name, lower=0, integer=False)
+        multiplier_names.append(name)
 
-    # Coefficient matching per remaining dimension.
+    # Coefficient matching per remaining dimension.  Multiplier names are
+    # fresh, so their coefficients are written into the dict directly rather
+    # than through a chain of LinExpr subtractions (each of which would copy
+    # the accumulating dict).
     for dim in dims:
-        total = form.coefficient(dim)
-        for lam, g in zip(multipliers, inequalities):
-            c = g.coeffs.get(dim, Fraction(0))
+        base = form.coefficient(dim)
+        coeffs = dict(base.coeffs)
+        for name, g in zip(multiplier_names, inequalities):
+            c = g.coeffs.get(dim)
             if c:
-                total = total - c * lam
-        problem.add_constraint(total.eq(0))
+                coeffs[name] = -c
+        problem.add_constraint(
+            Constraint(LinExpr._raw(coeffs, base.const), "=="))
 
     # Constant matching.
-    total = form.const - lambda0
-    for lam, g in zip(multipliers, inequalities):
+    coeffs = dict(form.const.coeffs)
+    coeffs[lambda0_name] = Fraction(-1)
+    for name, g in zip(multiplier_names, inequalities):
         if g.const:
-            total = total - g.const * lam
-    problem.add_constraint(total.eq(0))
-    return len(multipliers) + 1
+            coeffs[name] = -g.const
+    problem.add_constraint(
+        Constraint(LinExpr._raw(coeffs, form.const.const), "=="))
+    return len(multiplier_names) + 1

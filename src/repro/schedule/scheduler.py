@@ -43,8 +43,11 @@ from repro.schedule.constraints import (
     param_coeff_name,
 )
 from repro.schedule.functions import DimensionInfo, Schedule, ScheduleRow
+from repro.solver.backend import resolve_backend
 from repro.solver.budget import SolveBudget, use_budget
+from repro.solver.dedup import SolveCache, get_solve_cache, use_solve_cache
 from repro.solver.problem import Constraint, LinExpr
+from repro.solver.warmstart import WarmStartHandle, get_warm_pool
 
 __all__ = ["SchedulingError", "SchedulerOptions", "SchedulerStats",
            "InfluencedScheduler"]
@@ -68,6 +71,9 @@ class SchedulerOptions:
     # Optional cumulative work budget per construction attempt; exhausting
     # it raises SolverTimeout (see repro.solver.budget for the semantics).
     budget: Optional[SolveBudget] = None
+    # Solver backend name; "" resolves via REPRO_SOLVER / the registry
+    # default (see repro.solver.backend).
+    solver: str = ""
 
 
 @dataclass
@@ -110,6 +116,13 @@ class InfluencedScheduler:
         self.input_relations = [r for r in self.relations if r.kind == "input"]
         self.stats = SchedulerStats()
         self._obs = NULL_OBS
+        self._backend = resolve_backend(self.options.solver)
+        # Warm-start handles per dimension index, reset per schedule() call.
+        # They deliberately survive dimension withdrawals and the
+        # influenced -> plain restart: a previously solved dimension is an
+        # excellent incumbent for re-solving the same depth with fewer
+        # constraints (sibling fallback, restart-without-influence).
+        self._dim_handles: dict[int, WarmStartHandle] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -119,8 +132,17 @@ class InfluencedScheduler:
             tree.validate()
         self.stats = SchedulerStats()
         self._obs = get_obs()
-        with self._obs.span("scheduler.schedule", kernel=self.kernel.name,
-                            influenced=tree is not None) as span:
+        self._backend = resolve_backend(self.options.solver)
+        self._dim_handles = {}
+        # Deduplicate identical solves within this run when no wider scope
+        # (e.g. the pipeline's per-compile cache) is already installed.
+        if self._backend.incremental and get_solve_cache() is None:
+            cache_scope = use_solve_cache(SolveCache())
+        else:
+            cache_scope = nullcontext()
+        with cache_scope, \
+                self._obs.span("scheduler.schedule", kernel=self.kernel.name,
+                               influenced=tree is not None) as span:
             try:
                 with self._budget_scope():
                     result = self._construct(tree)
@@ -246,31 +268,43 @@ class InfluencedScheduler:
     def _attempt(self, schedule: Schedule, active, cursor):
         """Solve one dimension: coincidence first (isl-style), then plain.
 
+        The validity + proximity constraint system is shared by both tries,
+        so it is linearized once and forked per try.
+
         Returns (rows or None, coincident_flag)."""
         node = cursor.node if cursor is not None else None
+        base = self._build_base(active)
         if self.options.outer_coincidence and active:
             rows = self._solve_dimension(schedule, active, cursor,
                                          with_progression=True,
-                                         coincidence=True)
+                                         coincidence=True, base=base)
             if rows is not None:
                 return rows, True
             self.stats.coincidence_retries += 1
             if node is not None and node.require_parallel:
                 return None, False
         rows = self._solve_dimension(schedule, active, cursor,
-                                     with_progression=True, coincidence=False)
+                                     with_progression=True, coincidence=False,
+                                     base=base)
         return rows, False
 
+    def _build_base(self, active) -> DimensionProblem:
+        """Validity + proximity constraints common to every try of one
+        dimension."""
+        base = DimensionProblem(self.kernel.statements,
+                                self.kernel.parameter_names,
+                                coeff_bound=self.options.coeff_bound,
+                                const_bound=self.options.const_bound)
+        base.add_validity(active)
+        base.add_proximity(list(active) + list(self.input_relations))
+        return base
+
     def _solve_dimension(self, schedule: Schedule, active, cursor,
-                         with_progression: bool, coincidence: bool):
+                         with_progression: bool, coincidence: bool,
+                         base: Optional[DimensionProblem] = None):
         statements = self.kernel.statements
         params = self.kernel.parameter_names
-        problem = DimensionProblem(statements, params,
-                                   coeff_bound=self.options.coeff_bound,
-                                   const_bound=self.options.const_bound)
-        problem.add_validity(active)
-        proximity = list(active) + list(self.input_relations)
-        problem.add_proximity(proximity)
+        problem = base.fork() if base is not None else self._build_base(active)
         if coincidence:
             problem.add_coincidence(active)
         if with_progression:
@@ -304,10 +338,27 @@ class InfluencedScheduler:
             raise_fault(action, "scheduler.dimension",
                         kernel=self.kernel.name, dim=schedule.n_dims)
         self.stats.ilp_solves += 1
+        warm = None
+        pool = get_warm_pool() if self._backend.incremental else None
+        if self._backend.incremental:
+            # Prior solutions at this depth (sibling retries, supplementary
+            # dimensions, the plain restart), at the same depth of sibling
+            # scenarios via the ambient pool (other variants, clusters and
+            # degradation rungs of the same operator), and at the previous
+            # depth are plausibly feasible here too; offer them all as
+            # incumbent-bound candidates.
+            dim = schedule.n_dims
+            warm = WarmStartHandle.merged(
+                self._dim_handles.get(dim),
+                pool.peek(dim) if pool is not None else None,
+                self._dim_handles.get(dim - 1))
+            if not warm:
+                warm = None
         try:
             rows = problem.solve(extra_objectives=extra,
                                  injected_objectives=injected,
-                                 max_nodes=self.options.max_ilp_nodes)
+                                 max_nodes=self.options.max_ilp_nodes,
+                                 warm=warm, backend=self._backend)
         except BranchLimitExceeded:
             # A degenerate per-dimension ILP is treated like infeasibility:
             # backtrack rather than abort the whole construction.
@@ -323,6 +374,12 @@ class InfluencedScheduler:
                         feasible=rows is not None)
         if rows is None:
             return None
+        if self._backend.incremental and problem.last_assignment is not None:
+            handle = self._dim_handles.setdefault(schedule.n_dims,
+                                                  WarmStartHandle())
+            handle.offer(problem.last_assignment, problem.last_basis)
+            if pool is not None:
+                pool.handle(schedule.n_dims).offer(problem.last_assignment)
         out = {}
         for s in statements:
             coeffs = rows[s.name]

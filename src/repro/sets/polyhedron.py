@@ -104,11 +104,18 @@ class Polyhedron:
         )
 
     def canonical(self) -> tuple:
-        """A hashable canonical form (dims + sorted constraint signatures)."""
+        """A hashable canonical form (dims + sorted constraint signatures).
+
+        Fractions are flattened to ``(numerator, denominator)`` int pairs —
+        a unique representation whose tuples hash much faster than
+        ``Fraction`` instances (whose ``__hash__`` computes a modular
+        inverse each call)."""
         sigs = []
         for c in self.constraints:
-            coeffs = tuple(sorted(c.expr.coeffs.items()))
-            sigs.append((c.sense, coeffs, c.expr.const))
+            coeffs = tuple(sorted((n, v.numerator, v.denominator)
+                                  for n, v in c.expr.coeffs.items()))
+            sigs.append((c.sense, coeffs,
+                         c.expr.const.numerator, c.expr.const.denominator))
         return (tuple(self.dims), tuple(sorted(sigs)))
 
     def is_empty(self, integer: bool = True, max_nodes: int = 2000) -> bool:

@@ -13,13 +13,26 @@ library.  It provides:
 * :mod:`repro.solver.budget` — ambient wall-clock/pivot/node budgets; the
   hot loops above charge against the active budget and raise a typed
   :class:`repro.errors.SolverTimeout` when it runs out.
+* :mod:`repro.solver.backend` — the :class:`SolverBackend` protocol plus a
+  registry (``--solver`` / ``REPRO_SOLVER``); the rational simplex above is
+  the default ``"simplex"`` backend.
+* :mod:`repro.solver.warmstart` — :class:`WarmStartHandle`, incumbent-bound
+  reuse of prior solutions that provably cannot change any result.
+* :mod:`repro.solver.dedup` — ambient content-keyed cache replaying solves
+  of structurally identical constraint systems.
 """
 
+from repro.solver.backend import (DEFAULT_BACKEND, NoWarmstartSimplexBackend,
+                                  RationalSimplexBackend, SolverBackend,
+                                  available_backends, register_backend,
+                                  resolve_backend)
 from repro.solver.budget import SolveBudget, get_budget, use_budget
+from repro.solver.dedup import SolveCache, get_solve_cache, use_solve_cache
 from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
 from repro.solver.ilp import BranchLimitExceeded, solve_ilp, integer_feasible
 from repro.solver.lexmin import lexicographic_minimize
 from repro.solver.problem import LinExpr, Constraint, Problem, var
+from repro.solver.warmstart import WarmStartHandle, incumbent_bound
 
 __all__ = [
     "LinearProgram",
@@ -37,4 +50,16 @@ __all__ = [
     "SolveBudget",
     "get_budget",
     "use_budget",
+    "SolverBackend",
+    "RationalSimplexBackend",
+    "NoWarmstartSimplexBackend",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "available_backends",
+    "resolve_backend",
+    "WarmStartHandle",
+    "incumbent_bound",
+    "SolveCache",
+    "get_solve_cache",
+    "use_solve_cache",
 ]

@@ -1,0 +1,151 @@
+"""Pluggable solver backends.
+
+The scheduling stack never calls :func:`repro.solver.lp.solve_lp` /
+:func:`repro.solver.ilp.solve_ilp` directly any more; it goes through a
+:class:`SolverBackend` resolved from a registry.  This keeps the exact
+rational simplex as the default while leaving the door open for an
+external exact solver (isl, a GMP-backed simplex, ...) to slot in without
+touching the schedulers.
+
+Selection order for :func:`resolve_backend`:
+
+1. an explicit ``name`` argument (``SchedulerOptions.solver`` / ``--solver``),
+2. the ``REPRO_SOLVER`` environment variable,
+3. the default ``"simplex"``.
+
+Backends advertise ``incremental``: whether warm-start handles and the
+content-keyed solve cache may be used with them.  ``simplex-nowarm`` is the
+same rational simplex with all reuse disabled — CI runs the full test suite
+against both to prove warm-started results are bitwise-identical to cold
+ones.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.solver.lp import LinearProgram, LPResult, solve_lp
+from repro.solver.ilp import solve_ilp
+from repro.solver.lexmin import lexicographic_minimize
+
+ENV_VAR = "REPRO_SOLVER"
+DEFAULT_BACKEND = "simplex"
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Thin per-engine abstraction over the three solver entry points."""
+
+    name: str
+    #: Whether warm-start handles and the ambient solve cache apply.
+    incremental: bool
+
+    def solve_lp(self, lp: LinearProgram) -> LPResult:
+        ...
+
+    def solve_ilp(self, lp: LinearProgram,
+                  integer_mask: Optional[Sequence[bool]] = None,
+                  max_nodes: int = 100_000,
+                  incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        ...
+
+    def lexmin(self, lp: LinearProgram,
+               objectives: Sequence[Sequence[Fraction]],
+               integer_mask: Optional[Sequence[bool]] = None,
+               max_nodes: int = 100_000,
+               incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        ...
+
+
+class RationalSimplexBackend:
+    """The default backend: exact two-phase simplex + branch and bound."""
+
+    name = "simplex"
+    incremental = True
+
+    def solve_lp(self, lp: LinearProgram) -> LPResult:
+        return solve_lp(lp)
+
+    def solve_ilp(self, lp: LinearProgram,
+                  integer_mask: Optional[Sequence[bool]] = None,
+                  max_nodes: int = 100_000,
+                  incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        return solve_ilp(lp, integer_mask=integer_mask, max_nodes=max_nodes,
+                         incumbent_bound=incumbent_bound)
+
+    def lexmin(self, lp: LinearProgram,
+               objectives: Sequence[Sequence[Fraction]],
+               integer_mask: Optional[Sequence[bool]] = None,
+               max_nodes: int = 100_000,
+               incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        return lexicographic_minimize(lp, objectives,
+                                      integer_mask=integer_mask,
+                                      max_nodes=max_nodes,
+                                      incumbent_bound=incumbent_bound)
+
+
+class NoWarmstartSimplexBackend(RationalSimplexBackend):
+    """Same simplex, with every reuse path disabled.
+
+    ``incremental = False`` makes ``Problem.solve`` skip the solve cache and
+    warm-start candidates, and the incumbent bounds passed down here are
+    dropped.  Running tier-1 under ``REPRO_SOLVER=simplex-nowarm`` therefore
+    exercises the pure cold paths — any divergence from the default backend
+    is a reuse bug.
+    """
+
+    name = "simplex-nowarm"
+    incremental = False
+
+    def solve_ilp(self, lp: LinearProgram,
+                  integer_mask: Optional[Sequence[bool]] = None,
+                  max_nodes: int = 100_000,
+                  incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        return solve_ilp(lp, integer_mask=integer_mask, max_nodes=max_nodes)
+
+    def lexmin(self, lp: LinearProgram,
+               objectives: Sequence[Sequence[Fraction]],
+               integer_mask: Optional[Sequence[bool]] = None,
+               max_nodes: int = 100_000,
+               incumbent_bound: Optional[Fraction] = None) -> LPResult:
+        return lexicographic_minimize(lp, objectives,
+                                      integer_mask=integer_mask,
+                                      max_nodes=max_nodes)
+
+
+_REGISTRY: dict[str, Callable[[], SolverBackend]] = {}
+_INSTANCES: dict[str, SolverBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SolverBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, registration order."""
+    return list(_REGISTRY)
+
+
+def resolve_backend(name: Optional[str] = None) -> SolverBackend:
+    """Resolve a backend by name / ``REPRO_SOLVER`` / default.
+
+    Instances are cached per name — backends are expected to be stateless.
+    """
+    chosen = name or os.environ.get(ENV_VAR, "") or DEFAULT_BACKEND
+    factory = _REGISTRY.get(chosen)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown solver backend {chosen!r} (registered: {known})")
+    instance = _INSTANCES.get(chosen)
+    if instance is None:
+        instance = _INSTANCES[chosen] = factory()
+    return instance
+
+
+register_backend(RationalSimplexBackend.name, RationalSimplexBackend)
+register_backend(NoWarmstartSimplexBackend.name, NoWarmstartSimplexBackend)

@@ -1,0 +1,96 @@
+"""Content-keyed deduplication of solved constraint systems.
+
+Structurally identical Farkas-linearized systems recur constantly: the
+``tvm`` variant schedules every statement cluster separately (same shapes,
+different statement names), tile candidates re-solve the same dimension
+problems, and coincidence/plain retries share large constraint prefixes.
+This cache is the same content-hash trick as ``pipeline/cache.py``, one
+level lower: the key is the *positional* content of a ``Problem`` (variable
+names erased), so renamed-but-identical systems hit.
+
+The cache is ambient, mirroring ``repro.solver.budget``: the pipeline
+installs one per ``AkgPipeline.compile`` call with :func:`use_solve_cache`,
+and ``Problem.solve``/``Problem.lexmin`` consult it via
+:func:`get_solve_cache`.  Scoping a cache to a single compile keeps the
+serial and parallel evaluation paths metric-identical (every operator's
+compilation is wholly inside one process either way) while still
+deduplicating across variants, clusters, and retries of that operator.
+
+A replayed result is bitwise-identical to solving by construction — the
+solver is a deterministic pure function of the key's content.  Replay still
+honours the ambient deadline (``check_deadline``) but charges no pivots or
+nodes: there is no solver work to account.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Entries kept per cache (LRU).  A single operator compile stays well under
+#: this; the bound only guards against pathological generated workloads.
+MAX_ENTRIES = 8192
+
+_MISS = object()
+
+
+class SolveCache:
+    """LRU of positional solve results, keyed on problem content."""
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = MAX_ENTRIES):
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key):
+        """Return the cached value for ``key`` or the module-private miss
+        sentinel (use :func:`is_miss`)."""
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+        else:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return value
+
+    def store(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses}
+
+
+def is_miss(value) -> bool:
+    return value is _MISS
+
+
+_current: Optional[SolveCache] = None
+
+
+def get_solve_cache() -> Optional[SolveCache]:
+    """The ambient solve cache, or ``None`` when deduplication is off."""
+    return _current
+
+
+@contextmanager
+def use_solve_cache(cache: Optional[SolveCache]) -> Iterator[
+        Optional[SolveCache]]:
+    """Install ``cache`` as the ambient solve cache for the dynamic extent."""
+    global _current
+    previous = _current
+    _current = cache
+    try:
+        yield cache
+    finally:
+        _current = previous

@@ -21,6 +21,25 @@ from repro.solver.lp import LinearProgram, LPResult, LPStatus, solve_lp
 __all__ = ["BranchLimitExceeded", "solve_ilp", "integer_feasible"]
 
 
+def _with_bounds(lp: LinearProgram, lower: list, upper: list) -> LinearProgram:
+    """A bounds-override node LP sharing ``lp``'s (read-only) matrices.
+
+    ``dataclasses.replace`` would re-run ``__post_init__`` — revalidating
+    and re-converting the entire constraint matrix on every branch-and-bound
+    node.  All values already are exact :class:`Fraction`s here, so the node
+    LP is assembled directly.
+    """
+    node = object.__new__(LinearProgram)
+    node.objective = lp.objective
+    node.a_ub = lp.a_ub
+    node.b_ub = lp.b_ub
+    node.a_eq = lp.a_eq
+    node.b_eq = lp.b_eq
+    node.lower = lower
+    node.upper = upper
+    return node
+
+
 def _report_bb_nodes(nodes: int) -> None:
     """Feed branch-and-bound activity to the ambient metrics registry."""
     metrics = get_obs().metrics
@@ -42,12 +61,23 @@ def _first_fractional(x: Sequence[Fraction], integer_mask: Sequence[bool]) -> Op
 
 def solve_ilp(lp: LinearProgram,
               integer_mask: Optional[Sequence[bool]] = None,
-              max_nodes: int = 100_000) -> LPResult:
+              max_nodes: int = 100_000,
+              incumbent_bound: Optional[Fraction] = None) -> LPResult:
     """Solve a mixed-integer program by branch and bound.
 
     ``integer_mask[i]`` marks variable ``i`` as integral (all variables by
     default).  Returns an :class:`LPResult` whose ``x`` satisfies the
     integrality requirements, or status INFEASIBLE/UNBOUNDED.
+
+    ``incumbent_bound`` is the objective value of a *known feasible integral
+    point* (from a warm-start handle or a previous lexicographic level).  It
+    enables one extra prune — discarding nodes whose relaxation is *strictly*
+    worse than the bound — which provably cannot change the returned point:
+    every subtree it removes contains only values worse than the optimum, and
+    the first node at which the plain search would accept an incumbent of
+    value <= bound is reached unpruned.  The candidate is never seeded as
+    ``best`` (that could win objective ties against the point the cold search
+    finds first), so warm results stay bitwise-identical to cold ones.
     """
     if integer_mask is None:
         integer_mask = [True] * lp.n_vars
@@ -59,25 +89,31 @@ def solve_ilp(lp: LinearProgram,
         return root
 
     best: Optional[LPResult] = None
-    # Stack of (lower bounds, upper bounds) overrides; depth-first search.
-    stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
+    # Stack of (lower bounds, upper bounds, pre-solved relaxation) entries;
+    # depth-first search.  The root node reuses ``root`` instead of solving
+    # the identical LP a second time.
+    stack: list = [(list(lp.lower), list(lp.upper), root)]
     nodes = 0
 
     try:
         while stack:
-            lower, upper = stack.pop()
+            lower, upper, presolved = stack.pop()
             nodes += 1
             if nodes > max_nodes:
                 raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
             budget = get_budget()
             if budget is not None:
                 budget.charge_node()
-            node_lp = replace(lp, lower=list(lower), upper=list(upper))
-            result = solve_lp(node_lp)
+            if presolved is not None:
+                result = presolved
+            else:
+                result = solve_lp(_with_bounds(lp, list(lower), list(upper)))
             if result.status is not LPStatus.OPTIMAL:
                 continue
             if best is not None and result.objective >= best.objective:
                 continue  # bound: the relaxation cannot beat the incumbent
+            if incumbent_bound is not None and result.objective > incumbent_bound:
+                continue  # a known feasible point already does at least this well
             branch_var = _first_fractional(result.x, integer_mask)
             if branch_var is None:
                 best = result
@@ -87,10 +123,10 @@ def solve_ilp(lp: LinearProgram,
             # Explore the floor side first (schedule coefficients tend small).
             up_lower = list(lower)
             up_lower[branch_var] = floor_val + 1
-            stack.append((up_lower, list(upper)))
+            stack.append((up_lower, list(upper), None))
             down_upper = list(upper)
             down_upper[branch_var] = floor_val
-            stack.append((list(lower), down_upper))
+            stack.append((list(lower), down_upper, None))
     finally:
         _report_bb_nodes(nodes)
 
@@ -115,19 +151,22 @@ def integer_feasible(lp: LinearProgram,
     if root.status is not LPStatus.OPTIMAL:
         return False
 
-    stack: list[tuple[list, list]] = [(list(lp.lower), list(lp.upper))]
+    stack: list = [(list(lp.lower), list(lp.upper), root)]
     nodes = 0
     try:
         while stack:
-            lower, upper = stack.pop()
+            lower, upper, presolved = stack.pop()
             nodes += 1
             if nodes > max_nodes:
                 raise BranchLimitExceeded(f"exceeded {max_nodes} branch-and-bound nodes")
             budget = get_budget()
             if budget is not None:
                 budget.charge_node()
-            node_lp = replace(zero_obj, lower=list(lower), upper=list(upper))
-            result = solve_lp(node_lp)
+            if presolved is not None:
+                result = presolved
+            else:
+                result = solve_lp(
+                    _with_bounds(zero_obj, list(lower), list(upper)))
             if result.status is not LPStatus.OPTIMAL:
                 continue
             branch_var = _first_fractional(result.x, integer_mask)
@@ -137,10 +176,10 @@ def integer_feasible(lp: LinearProgram,
             floor_val = Fraction(value.numerator // value.denominator)
             up_lower = list(lower)
             up_lower[branch_var] = floor_val + 1
-            stack.append((up_lower, list(upper)))
+            stack.append((up_lower, list(upper), None))
             down_upper = list(upper)
             down_upper[branch_var] = floor_val
-            stack.append((list(lower), down_upper))
+            stack.append((list(lower), down_upper, None))
         return False
     finally:
         _report_bb_nodes(nodes)

@@ -20,23 +20,32 @@ from repro.solver.ilp import solve_ilp
 def lexicographic_minimize(lp: LinearProgram,
                            objectives: Sequence[Sequence[Fraction]],
                            integer_mask: Optional[Sequence[bool]] = None,
-                           max_nodes: int = 100_000) -> LPResult:
+                           max_nodes: int = 100_000,
+                           incumbent_bound: Optional[Fraction] = None) -> LPResult:
     """Lexicographically minimize ``objectives`` over the feasible set of ``lp``.
 
     ``lp.objective`` is ignored; each row of ``objectives`` is one level of
     the lexicographic order.  Returns the final point (status OPTIMAL), or
     INFEASIBLE/UNBOUNDED from the first failing level.
+
+    Levels chain their incumbents: the optimum of level ``k`` is a feasible
+    integral point of level ``k+1``'s pinned problem, so its value under the
+    next objective seeds that solve's strict bound (see
+    :func:`repro.solver.ilp.solve_ilp`).  ``incumbent_bound`` optionally
+    seeds level 0 the same way (e.g. from a warm-start candidate).
     """
     if not objectives:
         raise ValueError("need at least one objective level")
     current = lp
     result: Optional[LPResult] = None
-    for level in objectives:
-        level = [Fraction(c) for c in level]
+    bound = incumbent_bound
+    levels = [[Fraction(c) for c in level] for level in objectives]
+    for index, level in enumerate(levels):
         if len(level) != lp.n_vars:
             raise ValueError("objective level length does not match variable count")
         current = replace(current, objective=level)
-        result = solve_ilp(current, integer_mask=integer_mask, max_nodes=max_nodes)
+        result = solve_ilp(current, integer_mask=integer_mask,
+                           max_nodes=max_nodes, incumbent_bound=bound)
         if result.status is not LPStatus.OPTIMAL:
             return result
         # Pin this level's value and move to the next one.
@@ -45,5 +54,8 @@ def lexicographic_minimize(lp: LinearProgram,
             a_eq=current.a_eq + [level],
             b_eq=current.b_eq + [result.objective],
         )
+        if index + 1 < len(levels):
+            nxt = levels[index + 1]
+            bound = sum((c * v for c, v in zip(nxt, result.x)), Fraction(0))
     assert result is not None
     return result

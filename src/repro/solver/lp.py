@@ -23,6 +23,10 @@ from repro.linalg.rational import frac
 from repro.obs.runtime import get_obs
 from repro.solver.budget import get_budget
 
+# Shared immutable zero/one: the hot loops below allocate these constantly.
+_F0 = Fraction(0)
+_F1 = Fraction(1)
+
 
 class LPStatus(enum.Enum):
     """Outcome of an LP solve."""
@@ -65,6 +69,26 @@ class LinearProgram:
         if len(self.lower) != n or len(self.upper) != n:
             raise ValueError("bounds length does not match variable count")
 
+    @classmethod
+    def _trusted(cls, objective, a_ub, b_ub, a_eq, b_eq, lower, upper
+                 ) -> "LinearProgram":
+        """Constructor for callers that guarantee the invariants.
+
+        ``__post_init__`` coerces and validates every matrix entry — right
+        for hand-written programs, pure overhead for machine-built ones.
+        All entries must already be exact :class:`Fraction`s (bounds may be
+        None) with consistent shapes.
+        """
+        lp = object.__new__(cls)
+        lp.objective = objective
+        lp.a_ub = a_ub
+        lp.b_ub = b_ub
+        lp.a_eq = a_eq
+        lp.b_eq = b_eq
+        lp.lower = lower
+        lp.upper = upper
+        return lp
+
     @property
     def n_vars(self) -> int:
         return len(self.objective)
@@ -72,11 +96,18 @@ class LinearProgram:
 
 @dataclass
 class LPResult:
-    """Result of an LP solve: status, primal point and objective value."""
+    """Result of an LP solve: status, primal point and objective value.
+
+    ``basis`` is the final simplex basis (standard-form column indices, one
+    per tableau row).  It is diagnostic state for warm-start handles; it is
+    never replayed into a later solve, so results stay pivot-for-pivot
+    reproducible.
+    """
 
     status: LPStatus
     x: Optional[list[Fraction]] = None
     objective: Optional[Fraction] = None
+    basis: Optional[list[int]] = None
 
 
 def solve_lp(lp: LinearProgram) -> LPResult:
@@ -91,8 +122,8 @@ def solve_lp(lp: LinearProgram) -> LPResult:
             return LPResult(LPStatus.UNBOUNDED)
         x_std = tableau.primal_solution()
         x = std.recover(x_std)
-        value = sum((c * v for c, v in zip(lp.objective, x)), Fraction(0))
-        return LPResult(LPStatus.OPTIMAL, x, value)
+        value = sum((c * v for c, v in zip(lp.objective, x)), _F0)
+        return LPResult(LPStatus.OPTIMAL, x, value, basis=list(tableau.basis))
     finally:
         metrics = get_obs().metrics
         if metrics.enabled:
@@ -133,7 +164,9 @@ class _Standardizer:
                 k = self._new_var()
                 self.mapping.append(("free", j, k))
 
-        self.rows: list[list[Fraction]] = []
+        # Rows stay sparse (column -> coefficient dicts) end to end; the
+        # tableau consumes them directly, so no densify/re-sparsify round trip.
+        self.rows: list[dict[int, Fraction]] = []
         self.rhs: list[Fraction] = []
         # For each row, the slack column usable as an initial basic variable
         # (only when the row was not sign-flipped), or None.
@@ -142,20 +175,18 @@ class _Standardizer:
         for row, b in zip(lp.a_ub, lp.b_ub):
             coeffs, shift = self._translate(row)
             slack = self._new_var()
-            coeffs[slack] = Fraction(1)
+            coeffs[slack] = _F1
             self._append(coeffs, b - shift, slack)
         for row, b in zip(lp.a_eq, lp.b_eq):
             coeffs, shift = self._translate(row)
             self._append(coeffs, b - shift, None)
         for j, bound in extra_ub:
             slack = self._new_var()
-            self._append({j: Fraction(1), slack: Fraction(1)}, bound, slack)
+            self._append({j: _F1, slack: _F1}, bound, slack)
 
         # Standard-form objective over the y variables.
         obj, self.obj_shift = self._translate(lp.objective)
-        self.std_objective = [obj.get(j, Fraction(0)) for j in range(self.n_std_vars)]
-        # Pad rows created before later variables existed.
-        self.rows = [r + [Fraction(0)] * (self.n_std_vars - len(r)) for r in self.rows]
+        self.std_objective = [obj.get(j, _F0) for j in range(self.n_std_vars)]
 
     def _new_var(self) -> int:
         self.n_std_vars += 1
@@ -164,35 +195,32 @@ class _Standardizer:
     def _translate(self, row: Sequence[Fraction]) -> tuple[dict[int, Fraction], Fraction]:
         """Express ``row . x`` as ``coeffs . y + shift``."""
         coeffs: dict[int, Fraction] = {}
-        shift = Fraction(0)
+        shift = _F0
         for i, a in enumerate(row):
-            if a == 0:
+            if not a.numerator:
                 continue
             kind = self.mapping[i]
             if kind[0] == "shift":
                 _, j, lo = kind
-                coeffs[j] = coeffs.get(j, Fraction(0)) + a
+                coeffs[j] = coeffs.get(j, _F0) + a
                 shift += a * lo
             elif kind[0] == "reflect":
                 _, j, hi = kind
-                coeffs[j] = coeffs.get(j, Fraction(0)) - a
+                coeffs[j] = coeffs.get(j, _F0) - a
                 shift += a * hi
             else:
                 _, j, k = kind
-                coeffs[j] = coeffs.get(j, Fraction(0)) + a
-                coeffs[k] = coeffs.get(k, Fraction(0)) - a
+                coeffs[j] = coeffs.get(j, _F0) + a
+                coeffs[k] = coeffs.get(k, _F0) - a
         return coeffs, shift
 
     def _append(self, coeffs: dict[int, Fraction], rhs: Fraction,
                 slack: Optional[int]) -> None:
-        row = [Fraction(0)] * self.n_std_vars
-        for j, a in coeffs.items():
-            row[j] = a
         if rhs < 0:
-            row = [-a for a in row]
+            coeffs = {j: -a for j, a in coeffs.items()}
             rhs = -rhs
             slack = None  # the flipped slack has coefficient -1: unusable
-        self.rows.append(row)
+        self.rows.append(coeffs)
         self.rhs.append(rhs)
         self.row_slack.append(slack)
 
@@ -215,11 +243,14 @@ class _Standardizer:
 class _Tableau:
     """Sparse simplex tableau (rows as dicts) with Bland's rule."""
 
-    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction], n_vars: int):
+    def __init__(self, rows: list[dict[int, Fraction]], rhs: list[Fraction],
+                 n_vars: int):
         self.n_vars = n_vars
         self.n_rows = len(rows)
+        # Translation can leave exact-zero entries behind; drop them here so
+        # sparsity invariants hold (absent == zero) throughout the pivots.
         self.rows: list[dict[int, Fraction]] = [
-            {j: a for j, a in enumerate(r) if a != 0} for r in rows]
+            {j: a for j, a in r.items() if a.numerator} for r in rows]
         self.rhs = list(rhs)
         self.basis: list[int] = [-1] * self.n_rows
         self.pivots = 0
@@ -247,12 +278,12 @@ class _Tableau:
             for i in art_rows:
                 art = width
                 width += 1
-                self.rows[i][art] = Fraction(1)
+                self.rows[i][art] = _F1
                 self.basis[i] = art
-                cost[art] = Fraction(1)
+                cost[art] = _F1
             self._run(cost, width)
             value = sum((self.rhs[i] for i in range(self.n_rows)
-                         if self.basis[i] >= n), Fraction(0))
+                         if self.basis[i] >= n), _F0)
             if value != 0:
                 return False
             # Drive artificials out of the basis where possible.
@@ -283,7 +314,7 @@ class _Tableau:
 
     def phase_two(self, objective: list[Fraction]) -> LPStatus:
         """Minimize ``objective`` from the current feasible basis."""
-        cost = {j: c for j, c in enumerate(objective) if c != 0}
+        cost = {j: c for j, c in enumerate(objective) if c.numerator}
         return self._run(cost, self.n_vars)
 
     def _reduced_costs(self, cost: dict[int, Fraction],
@@ -291,11 +322,11 @@ class _Tableau:
         # Rows are already B^{-1} A, so reduced = c - sum_i c_B[i] * row_i.
         reduced = dict(cost)
         for i, b in enumerate(self.basis):
-            cb = cost.get(b, Fraction(0))
-            if cb != 0:
+            cb = cost.get(b, _F0)
+            if cb.numerator:
                 for j, a in self.rows[i].items():
                     if j < width:
-                        value = reduced.get(j, Fraction(0)) - cb * a
+                        value = reduced.get(j, _F0) - cb * a
                         if value:
                             reduced[j] = value
                         else:
@@ -304,21 +335,28 @@ class _Tableau:
 
     def _run(self, cost: dict[int, Fraction], width: int) -> LPStatus:
         basis_set = set(self.basis)
+        # Reduced costs are computed once and then maintained across pivots:
+        # after pivoting on (row r, col e), r'_j = r_j - r_e * a'_rj where
+        # a'_r is the NEW (normalized) pivot row.  This is the exact algebraic
+        # identity for the price update, so the entering-column choices (and
+        # hence every pivot) match the full recomputation bit for bit.
+        reduced = self._reduced_costs(cost, width)
         while True:
-            reduced = self._reduced_costs(cost, width)
-            entering = None
-            for j in sorted(reduced):  # Bland: smallest index
-                if reduced[j] < 0 and j not in basis_set:
-                    entering = j
-                    break
+            # Bland: smallest eligible index.  ``v.numerator < 0`` is the
+            # sign of the Fraction (denominators are always positive) —
+            # an int compare instead of a rational comparison.
+            entering = min(
+                (j for j, v in reduced.items()
+                 if v.numerator < 0 and j not in basis_set),
+                default=None)
             if entering is None:
                 return LPStatus.OPTIMAL
             # Ratio test with Bland's tie-break on the leaving basic variable.
             leaving = None
             best = None
             for i in range(self.n_rows):
-                a = self.rows[i].get(entering, Fraction(0))
-                if a > 0:
+                a = self.rows[i].get(entering)
+                if a is not None and a.numerator > 0:
                     ratio = self.rhs[i] / a
                     if best is None or ratio < best or (
                             ratio == best and self.basis[i] < self.basis[leaving]):
@@ -329,6 +367,14 @@ class _Tableau:
             basis_set.discard(self.basis[leaving])
             self._pivot(leaving, entering)
             basis_set.add(entering)
+            r_e = reduced[entering]
+            for j, a in self.rows[leaving].items():
+                if j < width:
+                    value = reduced.get(j, _F0) - r_e * a
+                    if value:
+                        reduced[j] = value
+                    else:
+                        reduced.pop(j, None)
 
     def _pivot(self, row: int, col: int) -> None:
         self.pivots += 1
@@ -351,16 +397,31 @@ class _Tableau:
         """row[target] -= factor * row[source]; rhs too."""
         src = self.rows[source]
         dst = self.rows[target]
-        for j, a in src.items():
-            value = dst.get(j, Fraction(0)) - factor * a
-            if value:
-                dst[j] = value
-            else:
-                dst.pop(j, None)
+        if factor == 1:  # +/-1 factors dominate; skip the multiply
+            for j, a in src.items():
+                value = dst.get(j, _F0) - a
+                if value:
+                    dst[j] = value
+                else:
+                    dst.pop(j, None)
+        elif factor == -1:
+            for j, a in src.items():
+                value = dst.get(j, _F0) + a
+                if value:
+                    dst[j] = value
+                else:
+                    dst.pop(j, None)
+        else:
+            for j, a in src.items():
+                value = dst.get(j, _F0) - factor * a
+                if value:
+                    dst[j] = value
+                else:
+                    dst.pop(j, None)
         self.rhs[target] -= factor * self.rhs[source]
 
     def primal_solution(self) -> list[Fraction]:
-        x = [Fraction(0)] * self.n_vars
+        x = [_F0] * self.n_vars
         for i, b in enumerate(self.basis):
             if b < self.n_vars:
                 x[b] = self.rhs[i]

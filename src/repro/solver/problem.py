@@ -15,15 +15,16 @@ error-prone, so this module provides:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.linalg.rational import frac
 from repro.obs.runtime import get_obs
-from repro.solver.lp import LinearProgram, LPResult, LPStatus
-from repro.solver.lexmin import lexicographic_minimize
-from repro.solver.ilp import solve_ilp
+from repro.solver.backend import SolverBackend, resolve_backend
+from repro.solver.budget import get_budget
+from repro.solver.dedup import get_solve_cache, is_miss
+from repro.solver.lp import LinearProgram, LPStatus
+from repro.solver.warmstart import WarmStartHandle, incumbent_bound
 
 Scalar = Union[int, Fraction, str]
 
@@ -49,6 +50,20 @@ class LinExpr:
         if isinstance(value, LinExpr):
             return value
         return cls(const=frac(value))
+
+    @classmethod
+    def _raw(cls, coeffs: dict, const: Fraction) -> "LinExpr":
+        """Constructor for callers that guarantee the invariants.
+
+        ``coeffs`` must be a fresh dict of zero-free exact Fractions and
+        ``const`` an exact Fraction; the normalizing loop of ``__init__``
+        is skipped.  Hot paths (presolve substitution, Farkas matching)
+        build their dicts directly and hand them off through this.
+        """
+        expr = object.__new__(cls)
+        expr.coeffs = coeffs
+        expr.const = const
+        return expr
 
     def copy(self) -> "LinExpr":
         return LinExpr(dict(self.coeffs), self.const)
@@ -93,13 +108,23 @@ class LinExpr:
 
     # -- equality (structural; ``.eq()`` builds constraints instead) ----------
 
+    def signature(self) -> tuple:
+        """Canonical content: sorted coefficient items plus the constant.
+
+        The constructor already normalizes (zero coefficients dropped, all
+        values :class:`Fraction`), so two expressions are ``==`` iff their
+        signatures are equal — ``__eq__``/``__hash__`` both defer to it,
+        keeping the pair consistent under coefficient normalization.
+        """
+        return (tuple(sorted(self.coeffs.items())), self.const)
+
     def __eq__(self, other):
         if not isinstance(other, LinExpr):
             return NotImplemented
         return self.coeffs == other.coeffs and self.const == other.const
 
     def __hash__(self):
-        return hash((tuple(sorted(self.coeffs.items())), self.const))
+        return hash(self.signature())
 
     # -- inspection ------------------------------------------------------------
 
@@ -128,16 +153,29 @@ def var(name: str) -> LinExpr:
     return LinExpr({name: Fraction(1)})
 
 
-@dataclass(frozen=True)
 class Constraint:
-    """``expr (<=|>=|==) 0`` — the rhs is folded into the expression."""
+    """``expr (<=|>=|==) 0`` — the rhs is folded into the expression.
 
-    expr: LinExpr
-    sense: str  # "<=", ">=", "=="
+    Immutable by convention (a plain ``__slots__`` class rather than a
+    frozen dataclass: constraints are built in bulk on the hot path, and
+    ``object.__setattr__``-mediated init is measurably slower).
+    """
 
-    def __post_init__(self):
-        if self.sense not in ("<=", ">=", "=="):
-            raise ValueError(f"bad sense {self.sense!r}")
+    __slots__ = ("expr", "sense")
+
+    def __init__(self, expr: LinExpr, sense: str):
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {sense!r}")
+        self.expr = expr
+        self.sense = sense  # "<=", ">=", "=="
+
+    def __eq__(self, other):
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.sense == other.sense and self.expr == other.expr
+
+    def __hash__(self):
+        return hash((self.expr, self.sense))
 
     def satisfied_by(self, assignment: dict[str, Fraction]) -> bool:
         value = self.expr.evaluate(assignment)
@@ -151,15 +189,37 @@ class Constraint:
         return f"{self.expr!r} {self.sense} 0"
 
 
+# Memo for :meth:`Problem.fold_objectives`: the fold is pure content →
+# content (level signatures + the mentioned variables' bounds) and every
+# scheduling dimension of a kernel folds the same objective, so results are
+# shared process-wide.  Entries (None included — the unbounded case) are
+# immutable by contract.
+_FOLD_CACHE: dict = {}
+_FOLD_CACHE_MAX = 4096
+_FOLD_MISS = object()
+
+
 class Problem:
     """Collects named variables and constraints; lowers to LinearProgram."""
 
     def __init__(self):
         self._order: list[str] = []
+        # Column index per name, maintained incrementally so lowering does
+        # not rebuild the mapping on every call.
+        self._index: dict[str, int] = {}
         self._lower: dict[str, Optional[Fraction]] = {}
         self._upper: dict[str, Optional[Fraction]] = {}
         self._integer: dict[str, bool] = {}
         self._constraints: list[Constraint] = []
+        # Cached objective-independent part of ``lower_to_lp`` (constraint
+        # matrix and bounds columns); invalidated by ``add_variable`` /
+        # ``add_constraint``.  Solving the same problem under several
+        # objectives (lexmin levels, warm/cold comparisons) re-lowers for
+        # free.
+        self._lowered: Optional[tuple] = None
+        #: Final simplex basis of the most recent ``solve``/``lexmin`` (for
+        #: warm-start handles); ``None`` until solved or when unsolvable.
+        self.last_basis: Optional[list[int]] = None
 
     # -- declaration -----------------------------------------------------------
 
@@ -167,7 +227,9 @@ class Problem:
                      integer: bool = True) -> LinExpr:
         """Declare a variable; returns its expression.  Idempotent bounds
         updates tighten (never loosen) existing declarations."""
+        self._lowered = None
         if name not in self._integer:
+            self._index[name] = len(self._order)
             self._order.append(name)
             self._lower[name] = None if lower is None else frac(lower)
             self._upper[name] = None if upper is None else frac(upper)
@@ -187,6 +249,7 @@ class Problem:
         missing = constraint.expr.variables() - set(self._integer)
         if missing:
             raise KeyError(f"undeclared variables in constraint: {sorted(missing)}")
+        self._lowered = None
         self._constraints.append(constraint)
 
     def add_constraints(self, constraints: Iterable[Constraint]) -> None:
@@ -205,6 +268,7 @@ class Problem:
         """Independent copy (shares immutable constraints)."""
         clone = Problem()
         clone._order = list(self._order)
+        clone._index = dict(self._index)
         clone._lower = dict(self._lower)
         clone._upper = dict(self._upper)
         clone._integer = dict(self._integer)
@@ -214,35 +278,60 @@ class Problem:
     # -- lowering ---------------------------------------------------------------
 
     def _row(self, expr: LinExpr) -> list[Fraction]:
-        index = {name: i for i, name in enumerate(self._order)}
+        index = self._index
         row = [Fraction(0)] * len(self._order)
         for name, c in expr.coeffs.items():
             row[index[name]] = c
         return row
 
     def lower_to_lp(self, objective: Optional[LinExpr] = None) -> LinearProgram:
-        """Produce the equivalent :class:`LinearProgram`."""
-        a_ub, b_ub, a_eq, b_eq = [], [], [], []
-        for c in self._constraints:
-            row = self._row(c.expr)
-            rhs = -c.expr.const
-            if c.sense == "<=":
-                a_ub.append(row)
-                b_ub.append(rhs)
-            elif c.sense == ">=":
-                a_ub.append([-x for x in row])
-                b_ub.append(-rhs)
-            else:
-                a_eq.append(row)
-                b_eq.append(rhs)
+        """Produce the equivalent :class:`LinearProgram`.
+
+        The constraint matrix and bounds columns depend only on the declared
+        variables and constraints, so they are lowered once and cached until
+        the next mutation; only the objective row is built per call.  The
+        cached lists are shared between the returned programs — downstream
+        consumers (simplex, branch and bound) treat them as read-only and
+        copy before modifying bounds.
+        """
+        index = self._index
+        zero = Fraction(0)
+        width = len(self._order)
+        if self._lowered is None:
+            a_ub, b_ub, a_eq, b_eq = [], [], [], []
+            for c in self._constraints:
+                if c.sense == ">=":
+                    # Build the negated row directly instead of negating a
+                    # dense row element by element (that negates every zero
+                    # too).
+                    row = [zero] * width
+                    for name, v in c.expr.coeffs.items():
+                        row[index[name]] = -v
+                    a_ub.append(row)
+                    b_ub.append(c.expr.const)
+                elif c.sense == "<=":
+                    row = [zero] * width
+                    for name, v in c.expr.coeffs.items():
+                        row[index[name]] = v
+                    a_ub.append(row)
+                    b_ub.append(-c.expr.const)
+                else:
+                    row = [zero] * width
+                    for name, v in c.expr.coeffs.items():
+                        row[index[name]] = v
+                    a_eq.append(row)
+                    b_eq.append(-c.expr.const)
+            self._lowered = (a_ub, b_ub, a_eq, b_eq,
+                             [self._lower[n] for n in self._order],
+                             [self._upper[n] for n in self._order])
+        a_ub, b_ub, a_eq, b_eq, lower, upper = self._lowered
         obj_row = self._row(objective) if objective is not None \
-            else [Fraction(0)] * len(self._order)
-        return LinearProgram(
-            objective=obj_row,
-            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
-            lower=[self._lower[n] for n in self._order],
-            upper=[self._upper[n] for n in self._order],
-        )
+            else [zero] * width
+        # All entries are exact Fractions by construction (``add_variable``
+        # and the LinExpr constructor coerce on entry), so the re-validating
+        # public constructor is skipped.
+        return LinearProgram._trusted(
+            obj_row, a_ub, b_ub, a_eq, b_eq, lower, upper)
 
     def integer_mask(self) -> list[bool]:
         return [self._integer[n] for n in self._order]
@@ -284,9 +373,11 @@ class Problem:
                 if victim is None:
                     continue
                 k = c.expr.coeffs[victim]
-                rest = LinExpr({n: v for n, v in c.expr.coeffs.items()
-                                if n != victim}, c.expr.const)
-                expr = (-1 / k) * rest
+                scale = -1 / k
+                expr = LinExpr._raw(
+                    {n: scale * v for n, v in c.expr.coeffs.items()
+                     if n != victim},
+                    scale * c.expr.const)
                 eliminated.append((victim, expr))
                 removed.add(victim)
                 replacement: list[Constraint] = []
@@ -295,6 +386,7 @@ class Problem:
                     replacement.append(expr >= lower[victim])
                 if upper[victim] is not None:
                     replacement.append(expr <= upper[victim])
+                zero = Fraction(0)
                 new_constraints = []
                 for j, other in enumerate(constraints):
                     if j == idx:
@@ -303,13 +395,29 @@ class Problem:
                     if not coeff:
                         new_constraints.append(other)
                         continue
-                    without = LinExpr({n: v for n, v in other.expr.coeffs.items()
-                                       if n != victim}, other.expr.const)
-                    new_constraints.append(
-                        Constraint(without + coeff * expr, other.sense))
+                    # ``without + coeff * expr`` without the two intermediate
+                    # LinExpr copies.
+                    merged = {n: v for n, v in other.expr.coeffs.items()
+                              if n != victim}
+                    for n, v in expr.coeffs.items():
+                        value = merged.get(n, zero) + coeff * v
+                        if value:
+                            merged[n] = value
+                        else:
+                            merged.pop(n, None)
+                    new_constraints.append(Constraint(
+                        LinExpr._raw(merged,
+                                     other.expr.const + coeff * expr.const),
+                        other.sense))
                 constraints = new_constraints + replacement
                 progress = True
                 break
+
+        if not removed and all(c.expr.coeffs for c in constraints):
+            # Nothing eliminated and no constant constraints to audit: the
+            # reduced problem would be an exact copy, so skip the rebuild.
+            # Callers only solve the result, never mutate it.
+            return self, eliminated
 
         reduced = Problem()
         for name in self._order:
@@ -334,66 +442,208 @@ class Problem:
             assignment[name] = expr.evaluate(assignment)
         return assignment
 
+    # -- content keys (for the ambient solve cache) ------------------------------
+
+    def _expr_key(self, expr: Optional[LinExpr]) -> Optional[tuple]:
+        """Positional signature of an objective expression.
+
+        Fractions are flattened to ``(numerator, denominator)`` int pairs
+        throughout the key machinery: the representation is unique, and
+        hashing ints is far cheaper than ``Fraction.__hash__`` (which
+        computes a modular inverse per value).
+        """
+        if expr is None:
+            return None
+        index = self._index
+        return (tuple(sorted((index[n], c.numerator, c.denominator)
+                             for n, c in expr.coeffs.items())),
+                expr.const.numerator, expr.const.denominator)
+
+    def _content_key(self, kind: str, objective_key, max_nodes: int,
+                     backend_name: str) -> tuple:
+        """Name-erased content of the whole problem.
+
+        Variables appear only as column positions, so two problems that
+        differ in nothing but variable names (e.g. per-statement sub-kernels
+        of the ``tvm`` variant) share a key.  Constraint order and each
+        constraint's coefficient *insertion* order are preserved — presolve's
+        victim selection walks them in order, so order is part of the
+        content that determines the exact result.
+        """
+        index = self._index
+        constraints = tuple(
+            (c.sense,
+             tuple((index[n], v.numerator, v.denominator)
+                   for n, v in c.expr.coeffs.items()),
+             c.expr.const.numerator, c.expr.const.denominator)
+            for c in self._constraints)
+        lower, upper = self._lower, self._upper
+        declarations = tuple(
+            (None if lower[n] is None
+             else (lower[n].numerator, lower[n].denominator),
+             None if upper[n] is None
+             else (upper[n].numerator, upper[n].denominator),
+             self._integer[n])
+            for n in self._order)
+        return (kind, backend_name, max_nodes, declarations, constraints,
+                objective_key)
+
     # -- solving ----------------------------------------------------------------
 
     def solve(self, objective: Optional[LinExpr] = None,
               max_nodes: int = 100_000,
-              presolve: bool = True) -> Optional[dict[str, Fraction]]:
+              presolve: bool = True,
+              warm: Optional[WarmStartHandle] = None,
+              backend: Optional[SolverBackend] = None,
+              _incumbent_bound: Optional[Fraction] = None,
+              ) -> Optional[dict[str, Fraction]]:
         """Minimize ``objective`` (feasibility check if None).
 
         Returns the assignment dict, or None if infeasible/unbounded.
+        ``warm`` offers prior solutions as incumbent bounds and ``backend``
+        overrides the registry default; both leave the result
+        bitwise-identical to a cold solve (see :mod:`repro.solver.warmstart`).
         """
+        if backend is None:
+            backend = resolve_backend()
         if presolve:
             # Public entry: the recursive presolve=False call below is part
             # of the same solve, so only this level feeds the histogram.
             started = time.perf_counter()
+            warm_hit = False
             try:
+                metrics = get_obs().metrics
+                cache = get_solve_cache() if backend.incremental else None
+                if cache is not None:
+                    key = self._content_key("solve", self._expr_key(objective),
+                                            max_nodes, backend.name)
+                    value = cache.lookup(key)
+                    if not is_miss(value):
+                        if metrics.enabled:
+                            metrics.count("solver.dedup.hits")
+                        budget = get_budget()
+                        if budget is not None:
+                            budget.check_deadline()
+                        self.last_basis = None
+                        if value is None:
+                            return None
+                        return dict(zip(self._order, value))
+                    if metrics.enabled:
+                        metrics.count("solver.dedup.misses")
                 protect = objective.variables() if objective is not None else set()
                 reduced, eliminated = self.presolved(protect=protect)
+                bound = None
+                if warm is not None and warm and backend.incremental:
+                    bound = incumbent_bound(reduced, objective, warm)
+                    warm_hit = bound is not None
+                    if metrics.enabled:
+                        metrics.count("solver.warmstart.hits" if warm_hit
+                                      else "solver.warmstart.misses")
                 sub = reduced.solve(objective, max_nodes=max_nodes,
-                                    presolve=False)
-                if sub is None:
-                    return None
-                return self._recover(sub, eliminated)
+                                    presolve=False, backend=backend,
+                                    _incumbent_bound=bound)
+                self.last_basis = reduced.last_basis
+                result = None if sub is None else self._recover(sub, eliminated)
+                if cache is not None:
+                    cache.store(key, None if result is None
+                                else [result[n] for n in self._order])
+                return result
             finally:
                 metrics = get_obs().metrics
                 if metrics.enabled:
-                    metrics.observe("solver.solve_seconds",
-                                    time.perf_counter() - started)
+                    elapsed = time.perf_counter() - started
+                    metrics.observe("solver.solve_seconds", elapsed)
+                    if warm_hit:
+                        metrics.observe("solver.warmstart.reuse_seconds",
+                                        elapsed)
         lp = self.lower_to_lp(objective)
-        result = solve_ilp(lp, integer_mask=self.integer_mask(), max_nodes=max_nodes)
+        result = backend.solve_ilp(lp, integer_mask=self.integer_mask(),
+                                   max_nodes=max_nodes,
+                                   incumbent_bound=_incumbent_bound)
         if result.status is not LPStatus.OPTIMAL:
+            self.last_basis = None
             return None
+        self.last_basis = result.basis
         return dict(zip(self._order, result.x))
 
     def lexmin(self, objectives: Sequence[LinExpr],
                max_nodes: int = 100_000,
-               presolve: bool = True) -> Optional[dict[str, Fraction]]:
-        """Lexicographically minimize the given objective expressions."""
+               presolve: bool = True,
+               warm: Optional[WarmStartHandle] = None,
+               backend: Optional[SolverBackend] = None,
+               _incumbent_bound: Optional[Fraction] = None,
+               ) -> Optional[dict[str, Fraction]]:
+        """Lexicographically minimize the given objective expressions.
+
+        ``warm`` candidates seed the first level's incumbent bound; later
+        levels chain their own incumbents (see
+        :func:`repro.solver.lexmin.lexicographic_minimize`).
+        """
+        if backend is None:
+            backend = resolve_backend()
         if presolve:
             started = time.perf_counter()
+            warm_hit = False
             try:
+                metrics = get_obs().metrics
+                cache = get_solve_cache() if backend.incremental else None
+                if cache is not None:
+                    key = self._content_key(
+                        "lexmin",
+                        tuple(self._expr_key(obj) for obj in objectives),
+                        max_nodes, backend.name)
+                    value = cache.lookup(key)
+                    if not is_miss(value):
+                        if metrics.enabled:
+                            metrics.count("solver.dedup.hits")
+                        budget = get_budget()
+                        if budget is not None:
+                            budget.check_deadline()
+                        self.last_basis = None
+                        if value is None:
+                            return None
+                        return dict(zip(self._order, value))
+                    if metrics.enabled:
+                        metrics.count("solver.dedup.misses")
                 protect = set()
                 for obj in objectives:
                     protect |= obj.variables()
                 reduced, eliminated = self.presolved(protect=protect)
+                bound = None
+                if warm is not None and warm and backend.incremental \
+                        and objectives:
+                    bound = incumbent_bound(reduced, objectives[0], warm)
+                    warm_hit = bound is not None
+                    if metrics.enabled:
+                        metrics.count("solver.warmstart.hits" if warm_hit
+                                      else "solver.warmstart.misses")
                 sub = reduced.lexmin(objectives, max_nodes=max_nodes,
-                                     presolve=False)
-                if sub is None:
-                    return None
-                return self._recover(sub, eliminated)
+                                     presolve=False, backend=backend,
+                                     _incumbent_bound=bound)
+                self.last_basis = reduced.last_basis
+                result = None if sub is None else self._recover(sub, eliminated)
+                if cache is not None:
+                    cache.store(key, None if result is None
+                                else [result[n] for n in self._order])
+                return result
             finally:
                 metrics = get_obs().metrics
                 if metrics.enabled:
-                    metrics.observe("solver.solve_seconds",
-                                    time.perf_counter() - started)
+                    elapsed = time.perf_counter() - started
+                    metrics.observe("solver.solve_seconds", elapsed)
+                    if warm_hit:
+                        metrics.observe("solver.warmstart.reuse_seconds",
+                                        elapsed)
         lp = self.lower_to_lp()
         rows = [self._row(obj) for obj in objectives]
-        result = lexicographic_minimize(lp, rows,
-                                        integer_mask=self.integer_mask(),
-                                        max_nodes=max_nodes)
+        result = backend.lexmin(lp, rows,
+                                integer_mask=self.integer_mask(),
+                                max_nodes=max_nodes,
+                                incumbent_bound=_incumbent_bound)
         if result.status is not LPStatus.OPTIMAL:
+            self.last_basis = None
             return None
+        self.last_basis = result.basis
         return dict(zip(self._order, result.x))
 
     def fold_objectives(self, objectives: Sequence[LinExpr]) -> Optional[LinExpr]:
@@ -401,7 +651,42 @@ class Problem:
         expression, exact when every level's variables are bounded.
 
         Returns None when some level has an unbounded range (callers should
-        fall back to true lexicographic solving)."""
+        fall back to true lexicographic solving).
+
+        The result depends only on the levels' content and the bounds of the
+        variables they mention — identical for every scheduling dimension of
+        a kernel — so it is memoized process-wide.  Returned expressions are
+        shared and must not be mutated.
+        """
+        names: list[str] = []
+        seen: set[str] = set()
+        for obj in objectives:
+            for name in obj.coeffs:
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        lower, upper = self._lower, self._upper
+        key = (tuple(
+                   (tuple(sorted((n, c.numerator, c.denominator)
+                                 for n, c in obj.coeffs.items())),
+                    obj.const.numerator, obj.const.denominator)
+                   for obj in objectives),
+               tuple((n,
+                      None if lower[n] is None
+                      else (lower[n].numerator, lower[n].denominator),
+                      None if upper[n] is None
+                      else (upper[n].numerator, upper[n].denominator))
+                     for n in names))
+        cached = _FOLD_CACHE.get(key, _FOLD_MISS)
+        if cached is not _FOLD_MISS:
+            return cached
+        folded = self._fold_objectives(objectives)
+        if len(_FOLD_CACHE) >= _FOLD_CACHE_MAX:
+            _FOLD_CACHE.clear()
+        _FOLD_CACHE[key] = folded
+        return folded
+
+    def _fold_objectives(self, objectives: Sequence[LinExpr]) -> Optional[LinExpr]:
         spans: list[Fraction] = []
         for obj in objectives:
             span = Fraction(0)
@@ -411,9 +696,17 @@ class Problem:
                     return None
                 span += abs(coeff) * (hi - lo)
             spans.append(span)
-        folded = LinExpr()
+        coeffs: dict[str, Fraction] = {}
+        const = Fraction(0)
+        zero = Fraction(0)
         weight = Fraction(1)
         for obj, span in zip(reversed(objectives), reversed(spans)):
-            folded = folded + weight * obj
+            for name, coeff in obj.coeffs.items():
+                value = coeffs.get(name, zero) + weight * coeff
+                if value:
+                    coeffs[name] = value
+                else:
+                    coeffs.pop(name, None)
+            const += weight * obj.const
             weight *= span + 1
-        return folded
+        return LinExpr(coeffs, const)
