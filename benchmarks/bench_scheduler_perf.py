@@ -73,6 +73,32 @@ def test_bench_influenced_scheduling_instrumented(benchmark):
     assert any(s.name == "scheduler.schedule" for s in obs.tracer.roots)
 
 
+def test_bench_influenced_scheduling_journaled(benchmark):
+    """Influenced scheduling with the provenance journal enabled (the
+    `repro explain` recording path).  The matching plain case is
+    `test_bench_influenced_scheduling[running_example]`; the acceptance
+    budget for journal recording is <= 5% over the disabled-journal run,
+    since a disabled journal costs one global read + an `enabled` check
+    per instrumented site."""
+    from repro.obs.provenance import use_journal
+
+    kernel = CASES["running_example"]()
+    relations = compute_dependences(kernel)
+    tree = build_influence_tree(kernel)
+    journals = []
+
+    def run():
+        with use_journal() as journal:
+            schedule = InfluencedScheduler(
+                kernel, relations=relations).schedule(tree)
+        journals.append(journal)
+        return schedule
+
+    schedule = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert schedule.is_complete()
+    assert any(e["kind"] == "dimension" for e in journals[-1].events)
+
+
 def test_bench_dependence_analysis(benchmark):
     kernel = elementwise_chain(32, 4)
     relations = benchmark.pedantic(lambda: compute_dependences(kernel),

@@ -25,10 +25,11 @@ Progress goes through the ``repro`` logger: ``-v`` for debug output,
 from __future__ import annotations
 
 import argparse
+import datetime as _datetime
 import json
 import os
 import sys
-import tempfile
+import time
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
@@ -41,9 +42,24 @@ from repro.eval import (
 from repro.eval.tables import format_degradation_summary, geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
-from repro.obs import configure_logging, format_metrics_report, logger
+from repro.obs import (
+    atomic_write_json,
+    configure_logging,
+    format_metrics_report,
+    logger,
+    use_journal,
+)
+from repro.obs.analyze import DEFAULT_SIGNIFICANCE, Delta, build_trend, diff_runs
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.provenance import format_decision_path
 from repro.obs.runtime import Obs, use_obs
+from repro.obs.store import (
+    RUN_SCHEMA_VERSION,
+    RunStore,
+    RunStoreError,
+    finalize_record,
+    new_record,
+)
 from repro.pipeline import (
     AkgPipeline,
     VARIANTS,
@@ -63,23 +79,9 @@ TRACE_FORMATS = ("flat", "chrome")
 
 # -- observability export -----------------------------------------------------
 
-
-def _write_json_atomic(path: str, payload) -> None:
-    """Write JSON via a sibling temp file + ``os.replace`` so readers never
-    observe a half-written file."""
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp",
-                                    prefix=os.path.basename(path) + ".")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+# Backwards-compatible alias: the temp-file + ``os.replace`` writer moved to
+# :mod:`repro.obs.export` so the trace exporter and the run store share it.
+_write_json_atomic = atomic_write_json
 
 
 def _metrics_payload(merged: dict) -> dict:
@@ -113,6 +115,45 @@ def _export_observability(args, metric_payloads: list) -> None:
         logger.info("metrics written to %s", metrics_path)
 
 
+# -- the run store ------------------------------------------------------------
+
+
+def _store_for(args) -> RunStore:
+    """The run store an invocation records into (``--runs-dir`` >
+    ``$REPRO_RUNS_DIR`` > ``.repro/runs``)."""
+    return RunStore(getattr(args, "runs_dir", "") or None)
+
+
+def _append_run(args, record: dict) -> str:
+    """Append one record to the ambient store (best-effort: recording must
+    never turn a successful run into a failed one)."""
+    if getattr(args, "no_record", False):
+        return ""
+    try:
+        store = _store_for(args)
+        run_id = store.append(record)
+    except OSError as exc:  # pragma: no cover - disk-full etc.
+        logger.warning("could not record run: %s", exc)
+        return ""
+    logger.info("run %s recorded in %s", run_id, store.root)
+    return run_id
+
+
+def _kernel_record(profile) -> dict:
+    """The run-store representation of one simulated kernel launch."""
+    return {
+        "name": profile.name,
+        "n_blocks": profile.n_blocks,
+        "n_threads_per_block": profile.n_threads_per_block,
+        "dram_transactions": profile.dram_transactions,
+        "dram_bytes": profile.dram_bytes,
+        "coalescing_efficiency": profile.coalescing_efficiency,
+        "scalar_issues": profile.scalar_issues,
+        "vector_issues": profile.vector_issues,
+        "time": profile.time,
+    }
+
+
 # -- subcommands --------------------------------------------------------------
 
 
@@ -123,21 +164,48 @@ def _cmd_compile(args) -> int:
                            max_threads=args.max_threads,
                            scheduler_options=options)
     variants = VARIANTS if args.all_variants else (args.variant,)
+    started = time.monotonic()
+    record = new_record("compile", config={
+        "file": args.file, "variants": ",".join(variants),
+        "solver": args.solver, "max_threads": args.max_threads,
+        "sample_blocks": args.sample_blocks})
+    operator = {"name": kernel.name, "op_class": "", "times": {},
+                "launches": {}, "schedule_hashes": {}, "status": "ok",
+                "influenced": False, "vectorized": False}
     baseline = None
-    for variant in variants:
-        compiled = pipeline.compile(kernel, variant)
-        print(f"=== variant {variant}: {compiled.n_launches} launch(es), "
-              f"vectorized={compiled.vectorized} ===")
-        print(compiled.signature())
-        if args.measure:
-            timing = pipeline.measure(compiled)
-            if variant == "isl" or baseline is None:
-                baseline = timing.time
-            print(f"--- modelled time {timing.time * 1e6:.1f} us, "
-                  f"DRAM {timing.dram_bytes / 1e6:.2f} MB, "
-                  f"speedup vs first variant "
-                  f"{baseline / timing.time:.2f}x ---")
-        print()
+    try:
+        for variant in variants:
+            compiled = pipeline.compile(kernel, variant)
+            operator["launches"][variant] = compiled.n_launches
+            operator["schedule_hashes"][variant] = compiled.schedule_hash
+            if compiled.degradation != "none":
+                operator.setdefault("degradation", {})[variant] = \
+                    compiled.degradation
+                operator["status"] = "degraded"
+            if variant == "infl":
+                operator["vectorized"] = compiled.vectorized
+            print(f"=== variant {variant}: {compiled.n_launches} launch(es), "
+                  f"vectorized={compiled.vectorized} ===")
+            print(compiled.signature())
+            if args.measure:
+                timing = pipeline.measure(compiled)
+                operator["times"][variant] = timing.time
+                if variant == "isl" or baseline is None:
+                    baseline = timing.time
+                print(f"--- modelled time {timing.time * 1e6:.1f} us, "
+                      f"DRAM {timing.dram_bytes / 1e6:.2f} MB, "
+                      f"speedup vs first variant "
+                      f"{baseline / timing.time:.2f}x ---")
+            print()
+    except BaseException:
+        operator["status"] = "failed"
+        raise
+    finally:
+        record["status"] = operator["status"]
+        record["operators"] = [operator]
+        finalize_record(record, metrics=pipeline.context.as_dict(),
+                        wall_seconds=time.monotonic() - started)
+        _append_run(args, record)
     return 0
 
 
@@ -186,11 +254,19 @@ def _cmd_table2(args) -> int:
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         verify=args.verify,
         solver=args.solver)
+    started = time.monotonic()
+    record = new_record("table2", config={
+        "networks": ",".join(networks), "seed": args.seed,
+        "limit": args.limit, "jobs": args.jobs, "solver": args.solver,
+        "deadline_ms": args.deadline_ms,
+        "sample_blocks": args.sample_blocks})
     results = []
+    completed = False
     try:
         for network in networks:
             logger.info("evaluating %s...", network)
             results.append(evaluate_network(network, config))
+        completed = True
         print(format_table2(results))
         print(f"\ngeomean speedup (infl over isl): "
               f"{geomean_speedup(results):.2f}x")
@@ -201,6 +277,21 @@ def _cmd_table2(args) -> int:
             print()
             print(format_pass_summary(merged))
     finally:
+        # Recorded (and exported) even when evaluation raises: partial runs
+        # stay diagnosable, marked by status.
+        if sum(r.count_failed for r in results) or not completed:
+            record["status"] = "failed" if completed else "error"
+        elif sum(r.count_degraded for r in results):
+            record["status"] = "degraded"
+        record["operators"] = [dict(op.as_record(), network=r.network)
+                               for r in results for op in r.operators
+                               if op is not None]
+        finalize_record(
+            record,
+            metrics=merge_metric_dicts(
+                [r.metrics for r in results if r.metrics]),
+            wall_seconds=time.monotonic() - started)
+        _append_run(args, record)
         _export_observability(args, [r.metrics for r in results if r.metrics])
     degraded = sum(r.count_degraded for r in results)
     failed = sum(r.count_failed for r in results)
@@ -261,24 +352,51 @@ def _cmd_profile(args) -> int:
                            max_threads=args.max_threads,
                            scheduler_options=options,
                            trace=bool(args.trace))
+    baseline_record = None
+    if args.baseline:
+        try:
+            baseline_record = _store_for(args).resolve(args.baseline)
+        except RunStoreError as exc:
+            logger.error("error: %s", exc)
+            return 2
     suite = generate_network_suite(network, seed=args.seed,
                                    limit=args.limit if args.limit > 0 else None)
+    started = time.monotonic()
+    record = new_record("profile", config={
+        "networks": network, "variant": args.variant, "seed": args.seed,
+        "limit": args.limit, "solver": args.solver,
+        "deadline_ms": args.deadline_ms, "sample_blocks": args.sample_blocks,
+        "max_threads": args.max_threads})
     profiles = []
+    operators: list[dict] = []
     degraded: list[tuple[str, str]] = []
     failed: list[tuple[str, str]] = []
+    completed = False
     try:
         for op_class, kernel in suite:
             logger.info("profiling %s (%s)...", kernel.name, op_class)
+            entry = {"name": kernel.name, "op_class": op_class,
+                     "times": {}, "launches": {}, "schedule_hashes": {},
+                     "status": "ok"}
+            operators.append(entry)
             try:
                 compiled = pipeline.compile(kernel, args.variant)
             except ReproError as exc:
                 failed.append((kernel.name, f"{type(exc).__name__}: {exc}"))
+                entry["status"] = "failed"
+                entry["error"] = f"{type(exc).__name__}: {exc}"
                 logger.warning("skipping %s: %s", kernel.name, exc)
                 continue
             if compiled.degradation != "none":
                 degraded.append((kernel.name, compiled.degradation))
+                entry["status"] = "degraded"
+                entry["degradation"] = {args.variant: compiled.degradation}
             timing = pipeline.measure(compiled)
+            entry["times"][args.variant] = timing.time
+            entry["launches"][args.variant] = compiled.n_launches
+            entry["schedule_hashes"][args.variant] = compiled.schedule_hash
             profiles.extend(timing.profiles)
+        completed = True
         backend = resolve_backend(args.solver)
         print(f"profile report — {network}, variant {args.variant}, "
               f"solver {backend.name}, "
@@ -299,9 +417,195 @@ def _cmd_profile(args) -> int:
             print(f"  {name}: degraded ({level})")
         for name, error in failed:
             print(f"  {name}: FAILED ({error})")
+        if baseline_record is not None:
+            print()
+            print(_render_profile_baseline(baseline_record, profiles))
     finally:
+        if failed or not completed:
+            record["status"] = "failed" if completed else "error"
+        elif degraded:
+            record["status"] = "degraded"
+        record["operators"] = operators
+        record["kernels"] = [_kernel_record(p) for p in profiles]
+        finalize_record(record, metrics=pipeline.context.as_dict(),
+                        wall_seconds=time.monotonic() - started)
+        _append_run(args, record)
         _export_observability(args, [pipeline.context.as_dict()])
     return 1 if failed else 0
+
+
+def _render_profile_baseline(baseline: dict, profiles: list) -> str:
+    """Per-kernel deltas of the current profile against a stored run
+    (``repro profile --baseline RUN``)."""
+    before = {k.get("name", ""): k for k in baseline.get("kernels", ())}
+    after = {p.name: p for p in profiles}
+    lines = [f"deltas vs run {baseline.get('run_id', '?')} "
+             f"({baseline.get('command', '?')})"]
+    if not before:
+        lines.append("  (baseline run recorded no kernels)")
+        return "\n".join(lines)
+    for name in sorted(set(before) | set(after)):
+        old = before.get(name)
+        new = after.get(name)
+        delta = Delta(name, old.get("time") if old else None,
+                      new.time if new else None)
+        dram = ""
+        if old is not None and new is not None:
+            old_tx = old.get("dram_transactions") or 0.0
+            if old_tx:
+                dram = (f", DRAM tx {old_tx:.0f} -> "
+                        f"{new.dram_transactions:.0f} "
+                        f"({new.dram_transactions / old_tx:.2f}x)")
+        lines.append(f"  {delta.render()}{dram}")
+    return "\n".join(lines)
+
+
+def _cmd_explain(args) -> int:
+    """Render the scheduler's decision path for a network's operators."""
+    network = _resolve_network(args.network)
+    if network is None:
+        logger.error("unknown network %r; pick from %s",
+                     args.network, list(NETWORKS))
+        return 2
+    seed, limit, solver = args.seed, args.limit, args.solver
+    variant = args.variant
+    if args.run:
+        try:
+            stored = _store_for(args).resolve(args.run)
+        except RunStoreError as exc:
+            logger.error("error: %s", exc)
+            return 2
+        config = stored.get("config", {})
+        seed = int(config.get("seed", seed))
+        limit = int(config.get("limit", limit))
+        solver = config.get("solver", solver)
+        variant = config.get("variant", variant)
+        logger.info("explaining with the configuration of run %s",
+                    stored.get("run_id"))
+    options = SchedulerOptions(solver=solver) if solver else None
+    # The schedule cache is disabled: a cache hit would skip scheduling
+    # entirely and the journal would have nothing to explain.
+    pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
+                           max_threads=args.max_threads,
+                           scheduler_options=options,
+                           enable_cache=False)
+    suite = generate_network_suite(network, seed=seed,
+                                   limit=limit if limit > 0 else None)
+    names = [kernel.name for _, kernel in suite]
+    if args.operator:
+        suite = [(op_class, kernel) for op_class, kernel in suite
+                 if kernel.name == args.operator]
+        if not suite:
+            logger.error("operator %r not in the %s suite; "
+                         "available: %s", args.operator, network, names)
+            return 2
+    status = 0
+    for op_class, kernel in suite:
+        print(f"=== {kernel.name} ({op_class}), variant {variant} ===")
+        with use_journal() as journal:
+            try:
+                compiled = pipeline.compile(kernel, variant)
+            except ReproError as exc:
+                print(f"  compilation FAILED: {type(exc).__name__}: {exc}")
+                if len(journal.events):
+                    print(format_decision_path(journal.events, indent="  "))
+                status = 1
+                print()
+                continue
+        rung = compiled.degradation
+        print(f"  degradation: {rung}; "
+              f"schedule hash {compiled.schedule_hash}")
+        print(format_decision_path(journal.events, indent="  "))
+        print()
+    return status
+
+
+# -- cross-run analytics (`repro obs ...`) ------------------------------------
+
+
+def _format_started(started_at: float) -> str:
+    stamp = _datetime.datetime.fromtimestamp(started_at,
+                                             tz=_datetime.timezone.utc)
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cmd_obs_list(args) -> int:
+    store = _store_for(args)
+    records = store.records()
+    if not records:
+        print(f"(no runs stored in {store.root})")
+        return 0
+    for record in records:
+        config = record.get("config", {})
+        scope = config.get("networks") or config.get("file") \
+            or config.get("source") or ""
+        print(f"{record.get('run_id', '?'):<18}"
+              f"{record.get('command', '?'):<10}"
+              f"{_format_started(record.get('started_at', 0.0)):<21}"
+              f"{record.get('status', '?'):<10}{scope}")
+    return 0
+
+
+def _cmd_obs_show(args) -> int:
+    record = _store_for(args).resolve(args.run)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    store = _store_for(args)
+    diff = diff_runs(store.resolve(args.run_a), store.resolve(args.run_b),
+                     threshold=args.threshold)
+    print(diff.render())
+    if args.fail_on_regression:
+        regressions = diff.regressions()
+        if regressions:
+            logger.error("%d metric(s) regressed beyond %.0f%%",
+                         len(regressions), args.threshold * 100)
+            return 1
+    return 0
+
+
+def _cmd_obs_trend(args) -> int:
+    store = _store_for(args)
+    report = build_trend(store.records(), match=args.match,
+                         threshold=args.threshold)
+    print(report.render())
+    if args.fail_on_regression and report.regressions():
+        logger.error("%d series regressed beyond %.0f%%",
+                     len(report.regressions()), args.threshold * 100)
+        return 1
+    return 0
+
+
+def _cmd_obs_bench_append(args) -> int:
+    """Ingest a pytest-benchmark JSON file as one run record.
+
+    ``started_at`` comes from the file's own timestamp (not the ingestion
+    time), so re-ingesting the same file is idempotent: the record is
+    byte-identical and content addressing dedups it.  Prints the run id.
+    """
+    with open(args.file) as handle:
+        payload = json.load(handle)
+    stamp = _datetime.datetime.fromisoformat(payload["datetime"])
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=_datetime.timezone.utc)
+    record = {
+        "schema": RUN_SCHEMA_VERSION,
+        "command": "bench",
+        "started_at": stamp.timestamp(),
+        "pid": 0,
+        "status": "ok",
+        "config": {"source": args.source or os.path.basename(args.file)},
+        "benchmarks": {
+            bench["fullname"]: bench["stats"]["mean"]
+            for bench in payload.get("benchmarks", ())},
+    }
+    store = _store_for(args)
+    run_id = store.append(record)
+    logger.info("benchmark run recorded in %s", store.root)
+    print(run_id)
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -377,6 +681,16 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                              "histograms) as JSON")
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser,
+                         recording: bool = True) -> None:
+    parser.add_argument("--runs-dir", default="", metavar="DIR",
+                        help="run-store directory (default: $REPRO_RUNS_DIR "
+                             "or .repro/runs)")
+    if recording:
+        parser.add_argument("--no-record", action="store_true",
+                            help="do not append a run record to the store")
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     """The argparse parser for the `repro` command."""
     parser = argparse.ArgumentParser(
@@ -398,6 +712,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--max-threads", type=int, default=256)
     _add_solver_argument(p)
+    _add_store_arguments(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("scenarios",
@@ -430,6 +745,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "quality via the degradation ladder")
     _add_solver_argument(p)
     _add_obs_arguments(p)
+    _add_store_arguments(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("profile",
@@ -446,9 +762,80 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=0.0,
                    help="wall-clock solve budget per scheduling attempt "
                         "(0 = unlimited)")
+    p.add_argument("--baseline", default="", metavar="RUN",
+                   help="print per-kernel deltas against a stored run "
+                        "(id, unique prefix, or latest[~N])")
     _add_solver_argument(p)
     _add_obs_arguments(p)
+    _add_store_arguments(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("explain",
+                       help="render the scheduler decision path: scenarios "
+                            "considered with simulated costs, the injected "
+                            "constraint per dimension, fallback activations")
+    p.add_argument("network", help="a Table I network (case-insensitive)")
+    p.add_argument("--operator", default="", metavar="NAME",
+                   help="explain only this operator (default: whole suite)")
+    p.add_argument("--variant", choices=VARIANTS, default="infl")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=4,
+                   help="operators to explain (0 = the full suite)")
+    p.add_argument("--sample-blocks", type=int, default=8)
+    p.add_argument("--max-threads", type=int, default=256)
+    p.add_argument("--run", default="", metavar="RUN",
+                   help="take seed/limit/solver/variant from a stored run")
+    _add_solver_argument(p)
+    _add_store_arguments(p, recording=False)
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("obs",
+                       help="cross-run analytics over the run store")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("list", help="list stored runs")
+    _add_store_arguments(q, recording=False)
+    q.set_defaults(func=_cmd_obs_list)
+
+    q = obs_sub.add_parser("show", help="print one stored run as JSON")
+    q.add_argument("run", help="run id, unique prefix, or latest[~N]")
+    _add_store_arguments(q, recording=False)
+    q.set_defaults(func=_cmd_obs_show)
+
+    q = obs_sub.add_parser("diff",
+                           help="metric/timing deltas and schedule-hash "
+                                "changes between two stored runs")
+    q.add_argument("run_a", help="run id, unique prefix, or latest[~N]")
+    q.add_argument("run_b", help="run id, unique prefix, or latest[~N]")
+    q.add_argument("--threshold", type=float, default=DEFAULT_SIGNIFICANCE,
+                   help="relative change below which a timing delta is "
+                        "noise (default: %(default)s)")
+    q.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 when run_b is slower than run_a beyond "
+                        "the threshold")
+    _add_store_arguments(q, recording=False)
+    q.set_defaults(func=_cmd_obs_diff)
+
+    q = obs_sub.add_parser("trend",
+                           help="per-kernel time series across stored runs, "
+                                "flagging regressions")
+    q.add_argument("--match", default="",
+                   help="only series whose name contains this substring")
+    q.add_argument("--threshold", type=float, default=DEFAULT_SIGNIFICANCE,
+                   help="regression threshold vs the best previous value")
+    q.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 when any series regressed")
+    _add_store_arguments(q, recording=False)
+    q.set_defaults(func=_cmd_obs_trend)
+
+    q = obs_sub.add_parser("bench-append",
+                           help="ingest a pytest-benchmark JSON file as a "
+                                "run record (idempotent; prints the run id)")
+    q.add_argument("file", help="pytest-benchmark --benchmark-json output")
+    q.add_argument("--source", default="",
+                   help="label recorded as the run's config.source")
+    _add_store_arguments(q, recording=False)
+    q.set_defaults(func=_cmd_obs_bench_append)
 
     p = sub.add_parser("verify",
                        help="check golden schedules, the cross-variant "
@@ -512,9 +899,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         logger.error("error: %s", exc)
         return 2
+    except RunStoreError as exc:
+        logger.error("error: %s", exc)
+        return 2
     except ReproError as exc:
         logger.error("%s: %s", type(exc).__name__, exc)
         return 1
+    except BrokenPipeError:
+        # Reader closed early (e.g. `repro obs trend | head`); the POSIX
+        # convention is a silent 141, not a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -85,6 +85,7 @@ class OperatorResult:
     degradation: dict = field(default_factory=dict)  # variant -> rung
     error: str = ""             # "variant: ExcType: message; ..." when failed
     verify_problems: list = field(default_factory=list)  # oracle findings
+    schedule_hashes: dict = field(default_factory=dict)  # variant -> hash
 
     def speedup(self, variant: str) -> float:
         base = self.times.get("isl")
@@ -92,6 +93,27 @@ class OperatorResult:
         if base is None or not other:
             return float("nan")
         return base / other
+
+    def as_record(self) -> dict:
+        """The run-store representation of this operator (see
+        :mod:`repro.obs.store`)."""
+        record = {
+            "name": self.name,
+            "op_class": self.op_class,
+            "times": dict(self.times),
+            "influenced": self.influenced,
+            "vectorized": self.vectorized,
+            "launches": dict(self.launches),
+            "status": self.status,
+            "schedule_hashes": dict(self.schedule_hashes),
+        }
+        if self.degradation:
+            record["degradation"] = dict(self.degradation)
+        if self.error:
+            record["error"] = self.error
+        if self.verify_problems:
+            record["verify_problems"] = list(self.verify_problems)
+        return record
 
 
 @dataclass
@@ -181,6 +203,7 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     launches: dict[str, int] = {}
     signatures: dict[str, str] = {}
     stats: dict[str, list] = {}
+    hashes: dict[str, str] = {}
     degradation: dict[str, str] = {}
     errors: list[str] = []
     vectorized = False
@@ -206,6 +229,7 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
             launches[variant] = compiled.n_launches
             signatures[variant] = compiled.signature()
             stats[variant] = compiled.scheduler_stats
+            hashes[variant] = compiled.schedule_hash
             if compiled.degradation != "none":
                 degradation[variant] = compiled.degradation
             if variant == "infl":
@@ -229,6 +253,7 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
         degradation=degradation,
         error="; ".join(errors),
         verify_problems=verify_problems,
+        schedule_hashes=hashes,
     )
 
 

@@ -35,6 +35,7 @@ from repro.influence.tree import (
 )
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
+from repro.obs.provenance import get_journal
 from repro.solver.problem import Constraint, LinExpr, var
 
 
@@ -128,10 +129,16 @@ def build_influence_tree(kernel: Kernel,
     max_depth = max(s.depth for s in kernel.statements)
     others = [s for s in kernel.statements if s.name != anchor.name]
 
+    journal = get_journal()
     branches: list[list[_NodeSpec]] = []
     for rank, scenario in enumerate(anchor_scenarios):
         variants = ["fused", "solo"] if (fuse_variants and others) else ["solo"]
         for variant in variants:
+            branch_label = f"{variant}/{scenario.innermost}"
+            if len(branches) >= max_branches:
+                journal.tree_branch(branch_label, rank=rank, kept=False)
+                continue
+            journal.tree_branch(branch_label, rank=rank, kept=True)
             chain: list[_NodeSpec] = []
             for depth in range(max_depth):
                 spec = _NodeSpec(
@@ -160,10 +167,6 @@ def build_influence_tree(kernel: Kernel,
                     spec.vector_width = scenario.vector_width
                 chain.append(spec)
             branches.append(chain)
-            if len(branches) >= max_branches:
-                break
-        if len(branches) >= max_branches:
-            break
 
     tree = InfluenceTree()
     for chain in branches:

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from repro.ir.access import Access
 from repro.ir.kernel import Kernel
 from repro.ir.statement import Statement
+from repro.obs.provenance import get_journal
 from repro.solver.problem import var
 
 
@@ -185,8 +186,17 @@ def build_statement_scenarios(statement: Statement, params: dict[str, int],
     if not candidates:
         return []
 
+    journal = get_journal()
     inner_ranked = _best(weights, candidates, accesses, thread_limit,
                          extents, True, statement.iterators)
+    if journal.enabled:
+        # Alternatives cut by the max_alternatives cap never grow a full
+        # dimension chain; record them (innermost choice + its simulated
+        # cost) so `repro explain` can show what pruning discarded.
+        for rank, (inner, score) in enumerate(inner_ranked):
+            if rank >= max_alternatives:
+                journal.scenario(statement.name, [inner], score,
+                                 vector_width=0, rank=rank, kept=False)
     scenarios: list[DimensionScenario] = []
     for inner_choice, inner_score in inner_ranked[:max_alternatives]:
         dims = [inner_choice]
@@ -210,6 +220,8 @@ def build_statement_scenarios(statement: Statement, params: dict[str, int],
         scenarios.append(DimensionScenario(
             statement=statement.name, dims=dims, score=total,
             vector_width=width))
+        journal.scenario(statement.name, dims, total, vector_width=width,
+                         rank=len(scenarios) - 1, kept=True)
     return scenarios
 
 

@@ -1,0 +1,270 @@
+"""Persistent, content-addressed, append-only run store.
+
+Every ``compile``/``table2``/``profile``/bench invocation records one *run
+record* — kernel and solver configuration, per-pass timings, the full
+metrics snapshot, per-operator times/status/degradation rung and schedule
+hashes — into ``.repro/runs/runs.jsonl`` (override with ``REPRO_RUNS_DIR``
+or an explicit store root).  The store is the substrate the cross-run
+analytics (:mod:`repro.obs.analyze`), ``repro explain`` and the future
+compile-service daemon read from.
+
+Durability and concurrency model:
+
+* **Append-only JSONL.**  One record per line, written with a *single*
+  ``os.write`` on an ``O_APPEND`` descriptor: POSIX serializes the
+  offset-update-plus-write, so two processes appending concurrently (two
+  ``--jobs`` evaluations sharing a store) produce two intact lines, never
+  an interleaving.  Nothing is ever rewritten in place.
+* **Content-addressed ids.**  ``run_id`` is a SHA-256 prefix over the
+  record's canonical JSON (which includes ``started_at``/``pid``, so two
+  observations of the same configuration remain distinct records unless
+  byte-identical).  Re-appending a byte-identical record — e.g. CI
+  re-ingesting the committed benchmark baseline — deduplicates naturally.
+* **mmap-friendly index.**  ``index.json`` maps ``run_id`` to a
+  ``[byte offset, byte length]`` pair into ``runs.jsonl`` so single-record
+  reads slice an ``mmap`` of the log instead of parsing it.  The index is
+  a rebuildable cache, refreshed (write-then-rename) whenever its recorded
+  log size goes stale; a racing writer can at worst leave it stale, never
+  wrong, because reads fall back to a full scan on any miss.
+
+Records are schema-versioned (:data:`RUN_SCHEMA_VERSION`); readers reject
+majors they do not understand instead of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.obs.export import atomic_write_json
+
+RUN_SCHEMA_VERSION = 1
+
+DEFAULT_RUNS_DIR = os.path.join(".repro", "runs")
+ENV_RUNS_DIR = "REPRO_RUNS_DIR"
+
+RECORDS_FILE = "runs.jsonl"
+INDEX_FILE = "index.json"
+
+
+def content_hash(payload) -> str:
+    """SHA-256 prefix over the canonical JSON rendering of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def default_store_root() -> str:
+    """The ambient store root: ``$REPRO_RUNS_DIR`` or ``.repro/runs``."""
+    return os.environ.get(ENV_RUNS_DIR, "") or DEFAULT_RUNS_DIR
+
+
+class RunStoreError(ValueError):
+    """A run record or run reference could not be used."""
+
+
+class RunStore:
+    """One on-disk run store (see the module docstring for the layout)."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_store_root()
+        self.records_path = os.path.join(self.root, RECORDS_FILE)
+        self.index_path = os.path.join(self.root, INDEX_FILE)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: dict) -> str:
+        """Append one record; returns its (content-addressed) ``run_id``.
+
+        The record is stamped with ``schema`` and ``run_id`` fields; a
+        record whose ``run_id`` already exists is not re-appended (content
+        addressing makes duplicates byte-identical, hence redundant).
+        """
+        record = dict(record)
+        record.setdefault("schema", RUN_SCHEMA_VERSION)
+        record.pop("run_id", None)
+        run_id = content_hash(record)
+        record["run_id"] = run_id
+        if self._index().get(run_id) is not None or \
+                any(rid == run_id for rid, _ in self._scan_ids()):
+            return run_id
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(self.records_path,
+                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            # One write call: O_APPEND makes the offset update + write
+            # atomic, so concurrent appenders cannot interleave lines.
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        self._refresh_index()
+        return run_id
+
+    # -- the index -----------------------------------------------------------
+
+    def _log_size(self) -> int:
+        try:
+            return os.path.getsize(self.records_path)
+        except OSError:
+            return 0
+
+    def _index(self) -> dict:
+        """The run_id -> [offset, length] map, or {} when stale/absent."""
+        try:
+            with open(self.index_path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if payload.get("size") != self._log_size():
+            return {}
+        return payload.get("runs", {})
+
+    def _refresh_index(self) -> None:
+        """Rebuild the index from the log (best-effort, atomic replace)."""
+        runs = {rid: span for rid, span in self._scan_ids()}
+        try:
+            atomic_write_json(self.index_path,
+                              {"size": self._log_size(), "runs": runs},
+                              indent=None)
+        except OSError:  # pragma: no cover - index is just a cache
+            pass
+
+    # -- reading -------------------------------------------------------------
+
+    def _scan_ids(self) -> Iterator[tuple[str, list[int]]]:
+        """Yield ``(run_id, [offset, length])`` for every intact line."""
+        try:
+            handle = open(self.records_path, "rb")
+        except OSError:
+            return
+        with handle:
+            offset = 0
+            for raw in handle:
+                length = len(raw)
+                line = raw.strip()
+                if line:
+                    try:
+                        record = json.loads(line)
+                        yield record.get("run_id", ""), [offset, length]
+                    except ValueError:
+                        pass  # torn tail line from a crashed writer
+                offset += length
+
+    def records(self) -> list[dict]:
+        """Every intact record, in append order."""
+        out = []
+        try:
+            handle = open(self.records_path, "rb")
+        except OSError:
+            return out
+        with handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if self._schema_ok(record):
+                    out.append(record)
+        return out
+
+    @staticmethod
+    def _schema_ok(record: dict) -> bool:
+        return record.get("schema", 0) <= RUN_SCHEMA_VERSION
+
+    def read(self, run_id: str) -> dict:
+        """One record by exact ``run_id`` (mmap slice via the index when
+        fresh, full scan otherwise)."""
+        span = self._index().get(run_id)
+        if span is not None:
+            offset, length = span
+            try:
+                with open(self.records_path, "rb") as handle:
+                    with mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ) as view:
+                        record = json.loads(view[offset:offset + length])
+                if record.get("run_id") == run_id:
+                    return record
+            except (OSError, ValueError):
+                pass
+        for record in self.records():
+            if record.get("run_id") == run_id:
+                return record
+        raise RunStoreError(f"run {run_id!r} not found in {self.root}")
+
+    def resolve(self, ref: str) -> dict:
+        """A record by reference: exact id, unique id prefix, or
+        ``latest``/``latest~N`` (N appends back)."""
+        if ref.startswith("latest"):
+            back = 0
+            if ref != "latest":
+                if not ref.startswith("latest~"):
+                    raise RunStoreError(f"bad run reference {ref!r}")
+                back = int(ref[len("latest~"):])
+            records = self.records()
+            if back >= len(records):
+                raise RunStoreError(
+                    f"store {self.root} has only {len(records)} run(s); "
+                    f"cannot resolve {ref!r}")
+            return records[-1 - back]
+        matches = [record for record in self.records()
+                   if record.get("run_id", "").startswith(ref)]
+        if not matches:
+            raise RunStoreError(f"run {ref!r} not found in {self.root}")
+        exact = [r for r in matches if r.get("run_id") == ref]
+        if exact:
+            return exact[0]
+        distinct = {r["run_id"] for r in matches}
+        if len(distinct) > 1:
+            raise RunStoreError(f"run prefix {ref!r} is ambiguous: "
+                                f"{sorted(distinct)}")
+        return matches[0]
+
+    def last_matching(self, predicate: Callable[[dict], bool]) -> Optional[dict]:
+        for record in reversed(self.records()):
+            if predicate(record):
+                return record
+        return None
+
+
+# -- record assembly ---------------------------------------------------------
+
+
+def new_record(command: str, config: Optional[dict] = None,
+               status: str = "ok") -> dict:
+    """A run-record skeleton; callers fill the payload sections and append.
+
+    ``started_at``/``pid`` make otherwise-identical runs distinct records
+    (the id stays a pure function of the record content).
+    """
+    return {
+        "schema": RUN_SCHEMA_VERSION,
+        "command": command,
+        "started_at": time.time(),
+        "pid": os.getpid(),
+        "status": status,
+        "config": dict(config or {}),
+    }
+
+
+def finalize_record(record: dict, metrics: Optional[dict] = None,
+                    wall_seconds: Optional[float] = None) -> dict:
+    """Attach the metrics snapshot (full: counters/gauges/histograms plus
+    per-pass timings) and wall time to a record under construction."""
+    if wall_seconds is not None:
+        record["wall_seconds"] = wall_seconds
+    if metrics:
+        record["passes"] = metrics.get("passes", {})
+        record["metrics"] = {
+            "counters": metrics.get("counters", {}),
+            "gauges": metrics.get("gauges", {}),
+            "histograms": metrics.get("histograms", {}),
+        }
+    return record

@@ -240,3 +240,16 @@ class Tracer:
             emit(root)
         out.sort(key=lambda e: e["ts"])
         return out
+
+    def export(self, path: str, format: str = "chrome") -> None:
+        """Write the trace to ``path`` atomically (write-then-rename, the
+        same path ``--metrics`` uses), so a crash mid-export never leaves a
+        truncated trace file.  ``format``: ``"chrome"`` or ``"flat"``."""
+        from repro.obs.export import atomic_write_json
+        if format == "chrome":
+            atomic_write_json(path, self.chrome_trace())
+        elif format == "flat":
+            atomic_write_json(path, self.flat_events())
+        else:
+            raise ValueError(f"unknown trace format {format!r}; "
+                             f"pick from ('flat', 'chrome')")

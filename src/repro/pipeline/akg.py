@@ -29,6 +29,7 @@ from repro.pipeline.passes import (
     variant_passes,
 )
 from repro.schedule.scheduler import SchedulerOptions, SchedulerStats
+from repro.schedule.serialize import schedule_content_hash
 from repro.solver.dedup import SolveCache, get_solve_cache, use_solve_cache
 from repro.solver.warmstart import WarmStartPool, get_warm_pool, use_warm_pool
 
@@ -49,6 +50,20 @@ class CompiledOperator:
     launches: list[MappedKernel]
     scheduler_stats: list[SchedulerStats] = field(default_factory=list)
     degradation: str = "none"  # one of DEGRADATION_LEVELS
+    # Content hash of each launch's schedule (parallel to ``launches``);
+    # the run store diffs these across runs to detect schedule changes.
+    schedule_hashes: list[str] = field(default_factory=list)
+
+    @property
+    def schedule_hash(self) -> str:
+        """A single hash covering all launches of this operator."""
+        if not self.schedule_hashes:
+            return ""
+        if len(self.schedule_hashes) == 1:
+            return self.schedule_hashes[0]
+        import hashlib
+        joined = ",".join(self.schedule_hashes)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
 
     @property
     def n_launches(self) -> int:
@@ -87,6 +102,12 @@ class OperatorTiming:
     @property
     def dram_bytes(self) -> float:
         return sum(p.dram_bytes for p in self.profiles)
+
+
+def _state_hashes(states) -> list[str]:
+    """Schedule content hashes for a sequence of pipeline states."""
+    return [schedule_content_hash(s.schedule) if s.schedule is not None else ""
+            for s in states]
 
 
 def _domain_signature(statement: Statement) -> tuple:
@@ -189,16 +210,17 @@ class AkgPipeline:
             state = self.session.run(kernel, passes, variant=tag)
             return CompiledOperator(kernel=kernel, variant=variant,
                                     launches=[state.mapped],
-                                    scheduler_stats=[state.scheduler_stats])
-        launches = []
-        stats = []
+                                    scheduler_stats=[state.scheduler_stats],
+                                    schedule_hashes=_state_hashes([state]))
+        states = []
         for index, cluster in enumerate(clusters):
             sub = _sub_kernel(kernel, cluster, f"_k{index}")
-            state = self.session.run(sub, passes, variant=tag)
-            launches.append(state.mapped)
-            stats.append(state.scheduler_stats)
+            states.append(self.session.run(sub, passes, variant=tag))
         return CompiledOperator(kernel=kernel, variant=variant,
-                                launches=launches, scheduler_stats=stats)
+                                launches=[s.mapped for s in states],
+                                scheduler_stats=[s.scheduler_stats
+                                                 for s in states],
+                                schedule_hashes=_state_hashes(states))
 
     def compile(self, kernel: Kernel, variant: str) -> CompiledOperator:
         """Compile under ``variant``, degrading gracefully on failure.

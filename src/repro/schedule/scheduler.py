@@ -34,6 +34,7 @@ from repro.errors import BranchLimitExceeded, SchedulingError
 from repro.faultinject import fault_action, raise_fault
 from repro.influence.tree import InfluenceTree, TreeCursor, parse_theta
 from repro.ir.kernel import Kernel
+from repro.obs.provenance import NULL_JOURNAL, get_journal
 from repro.obs.runtime import NULL_OBS, get_obs
 from repro.schedule.analysis import annotate_parallelism, satisfaction_depth
 from repro.schedule.constraints import (
@@ -116,6 +117,7 @@ class InfluencedScheduler:
         self.input_relations = [r for r in self.relations if r.kind == "input"]
         self.stats = SchedulerStats()
         self._obs = NULL_OBS
+        self._journal = NULL_JOURNAL
         self._backend = resolve_backend(self.options.solver)
         # Warm-start handles per dimension index, reset per schedule() call.
         # They deliberately survive dimension withdrawals and the
@@ -132,6 +134,7 @@ class InfluencedScheduler:
             tree.validate()
         self.stats = SchedulerStats()
         self._obs = get_obs()
+        self._journal = get_journal()
         self._backend = resolve_backend(self.options.solver)
         self._dim_handles = {}
         # Deduplicate identical solves within this run when no wider scope
@@ -143,6 +146,8 @@ class InfluencedScheduler:
         with cache_scope, \
                 self._obs.span("scheduler.schedule", kernel=self.kernel.name,
                                influenced=tree is not None) as span:
+            self._journal.note("schedule-start", kernel=self.kernel.name,
+                               influenced=tree is not None)
             try:
                 with self._budget_scope():
                     result = self._construct(tree)
@@ -150,10 +155,15 @@ class InfluencedScheduler:
                 self.stats.influence_abandoned = True
                 self._obs.event("scheduler.backtrack", kind="abandon-influence",
                                 kernel=self.kernel.name)
+                self._journal.backtrack("abandon-influence", dim=-1,
+                                        kernel=self.kernel.name)
                 with self._budget_scope():
                     result = self._construct(None)
             span.set(dimensions=result.n_dims,
                      ilp_solves=self.stats.ilp_solves)
+            self._journal.note("schedule-done", kernel=self.kernel.name,
+                               dimensions=result.n_dims,
+                               ilp_solves=self.stats.ilp_solves)
         annotate_parallelism(result, self.validity_relations)
         return result
 
@@ -311,9 +321,11 @@ class InfluencedScheduler:
             skip = set(cursor.node.allow_zero) if cursor is not None else set()
             problem.add_progression(schedule.rows, skip=skip)
         injected: list[LinExpr] = []
+        translated: list[Constraint] = []
         if cursor is not None:
-            problem.add_raw_constraints(
-                self._translate_influence(cursor.node, schedule, schedule.n_dims))
+            translated = self._translate_influence(cursor.node, schedule,
+                                                   schedule.n_dims)
+            problem.add_raw_constraints(translated)
             injected = [
                 self._translate_expr(expr, schedule, schedule.n_dims)
                 for expr in cursor.node.objectives]
@@ -333,11 +345,15 @@ class InfluencedScheduler:
                             coincidence=coincidence,
                             progression=with_progression,
                             feasible=False, injected=True)
+            self._journal_dimension(schedule, cursor, coincidence,
+                                    with_progression, translated,
+                                    feasible=False, fault_injected=True)
             return None
         if action is not None:
             raise_fault(action, "scheduler.dimension",
                         kernel=self.kernel.name, dim=schedule.n_dims)
         self.stats.ilp_solves += 1
+        reuse_before = self._reuse_counters()
         warm = None
         pool = get_warm_pool() if self._backend.incremental else None
         if self._backend.incremental:
@@ -367,11 +383,18 @@ class InfluencedScheduler:
                             coincidence=coincidence,
                             progression=with_progression,
                             feasible=False, branch_limit=True)
+            self._journal_dimension(schedule, cursor, coincidence,
+                                    with_progression, translated,
+                                    feasible=False, branch_limit=True)
             return None
         self._obs.event("scheduler.ilp-solve", dim=schedule.n_dims,
                         coincidence=coincidence,
                         progression=with_progression,
                         feasible=rows is not None)
+        self._journal_dimension(schedule, cursor, coincidence,
+                                with_progression, translated,
+                                feasible=rows is not None,
+                                reuse_before=reuse_before)
         if rows is None:
             return None
         if self._backend.incremental and problem.last_assignment is not None:
@@ -387,6 +410,37 @@ class InfluencedScheduler:
                 s, params, coeffs[:s.depth],
                 coeffs[s.depth:s.depth + len(params)], coeffs[-1])
         return out
+
+    def _reuse_counters(self) -> Optional[tuple[float, float]]:
+        """Warm-start/dedup hit counters (for per-dimension journal deltas);
+        None when the journal or the metrics registry is off."""
+        if not self._journal.enabled or not self._obs.metrics.enabled:
+            return None
+        counters = self._obs.metrics.counters
+        return (counters.get("solver.warmstart.hits", 0.0),
+                counters.get("solver.dedup.hits", 0.0))
+
+    def _journal_dimension(self, schedule: Schedule, cursor, coincidence: bool,
+                           with_progression: bool, translated, feasible: bool,
+                           reuse_before: Optional[tuple] = None,
+                           **extra) -> None:
+        """One provenance event per dimension ILP attempt: the injected
+        constraint set, the tree node it came from, and the verdict."""
+        if not self._journal.enabled:
+            return
+        node = cursor.node if cursor is not None else None
+        if reuse_before is not None:
+            after = self._reuse_counters()
+            if after is not None:
+                extra["warmstart_hits"] = int(after[0] - reuse_before[0])
+                extra["dedup_hits"] = int(after[1] - reuse_before[1])
+        self._journal.dimension(
+            schedule.n_dims,
+            coincidence=coincidence,
+            progression=with_progression,
+            node=node.label if node is not None else "",
+            injected=[repr(c) for c in translated],
+            feasible=feasible, **extra)
 
     def _tie_break_objectives(self, statements) -> list[LinExpr]:
         """Prefer the textual loop order on cost ties: minimize the weight
@@ -430,6 +484,8 @@ class InfluencedScheduler:
                 self.stats.sibling_fallbacks += 1
                 self._obs.event("scheduler.backtrack", kind="sibling",
                                 dim=schedule.n_dims)
+                self._journal.backtrack("sibling", dim=schedule.n_dims,
+                                        to=sibling.node.label)
                 saved_active, _ = backups[cursor.depth]
                 return sibling, schedule, list(saved_active), band
 
@@ -439,6 +495,9 @@ class InfluencedScheduler:
             self.stats.permutability_drops += 1
             self._obs.event("scheduler.backtrack", kind="permutability-drop",
                             dim=schedule.n_dims)
+            self._journal.backtrack("permutability-drop",
+                                    dim=schedule.n_dims,
+                                    retired=len(active) - len(remaining))
             return cursor, schedule, remaining, band + 1
 
         # (4) closest right sibling of an ancestor.
@@ -448,6 +507,8 @@ class InfluencedScheduler:
                 self.stats.ancestor_backtracks += 1
                 self._obs.event("scheduler.backtrack", kind="ancestor",
                                 dim=schedule.n_dims)
+                self._journal.backtrack("ancestor", dim=schedule.n_dims,
+                                        to=ancestor.node.label)
                 saved_active, saved_dims = backups[ancestor.depth]
                 schedule.drop_dimensions_from(saved_dims)
                 del backups[ancestor.depth:]
@@ -466,6 +527,8 @@ class InfluencedScheduler:
             if len(remaining) < len(active):
                 self._obs.event("scheduler.backtrack", kind="scc-separation",
                                 dim=schedule.n_dims)
+                self._journal.backtrack("scc-separation",
+                                        dim=schedule.n_dims)
                 return cursor, schedule, remaining, band + 1
             schedule.drop_dimensions_from(schedule.n_dims - 1)
             self.stats.scc_separations -= 1

@@ -119,5 +119,17 @@ def schedule_to_json(schedule: Schedule) -> str:
     return json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True)
 
 
+def schedule_content_hash(schedule: Schedule) -> str:
+    """A short stable content hash of the schedule (row coefficients and
+    dimension metadata; the degradation tag is excluded so the hash
+    identifies the *schedule*, not how it was obtained).  Used by the run
+    store to detect schedule changes across runs."""
+    import hashlib
+
+    canonical = json.dumps(schedule_to_dict(schedule), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 def schedule_from_json(kernel: Kernel, text: str) -> Schedule:
     return schedule_from_dict(kernel, json.loads(text))

@@ -10,6 +10,16 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path, monkeypatch):
+    """Point the ambient run store at a per-test directory so CLI tests
+    never append run records into the developer's ``.repro/runs``."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 try:
     from hypothesis import settings
 except ImportError:  # hypothesis is a dev extra; tier-1 runs without it

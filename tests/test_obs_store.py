@@ -1,0 +1,252 @@
+"""Tests for the persistent run store (repro.obs.store)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs.store import (
+    RUN_SCHEMA_VERSION,
+    RunStore,
+    RunStoreError,
+    content_hash,
+    default_store_root,
+    finalize_record,
+    new_record,
+)
+
+KERNEL_TEXT = """
+kernel store_demo (M=64, N=16)
+tensor A[M][N]
+tensor B[M][N]
+S[i: 0..M, j: 0..N]: B[i][j] = f(A[i][j])
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "op.kdl"
+    path.write_text(KERNEL_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(str(tmp_path / "store"))
+
+
+class TestAppendRead:
+    def test_roundtrip(self, store):
+        run_id = store.append({"command": "test", "payload": 1})
+        record = store.read(run_id)
+        assert record["payload"] == 1
+        assert record["run_id"] == run_id
+        assert record["schema"] == RUN_SCHEMA_VERSION
+
+    def test_append_is_content_addressed(self, store):
+        run_id = store.append({"command": "test", "payload": 2})
+        expected = content_hash({"command": "test", "payload": 2,
+                                 "schema": RUN_SCHEMA_VERSION})
+        assert run_id == expected
+
+    def test_identical_records_dedup(self, store):
+        a = store.append({"command": "test", "payload": 3})
+        b = store.append({"command": "test", "payload": 3})
+        assert a == b
+        assert len(store.records()) == 1
+
+    def test_new_records_are_distinct_observations(self, store):
+        a = store.append(new_record("table2"))
+        b = store.append(new_record("table2"))
+        # started_at/pid are part of the content, so two observations of
+        # the same configuration produce two records.
+        assert a != b
+        assert len(store.records()) == 2
+
+    def test_records_in_append_order(self, store):
+        ids = [store.append({"command": "test", "n": n}) for n in range(5)]
+        assert [r["run_id"] for r in store.records()] == ids
+
+    def test_read_missing_raises(self, store):
+        with pytest.raises(RunStoreError):
+            store.read("doesnotexist")
+
+    def test_future_schema_rejected(self, store):
+        store.append({"command": "old", "n": 1})
+        with open(store.records_path, "a") as handle:
+            future = {"schema": RUN_SCHEMA_VERSION + 1, "run_id": "f" * 16}
+            handle.write(json.dumps(future) + "\n")
+        assert [r["command"] for r in store.records()] == ["old"]
+
+
+class TestIndex:
+    def test_index_written_and_used(self, store):
+        run_id = store.append({"command": "test", "n": 1})
+        with open(store.index_path) as handle:
+            payload = json.load(handle)
+        assert run_id in payload["runs"]
+        offset, length = payload["runs"][run_id]
+        with open(store.records_path, "rb") as handle:
+            handle.seek(offset)
+            assert json.loads(handle.read(length))["run_id"] == run_id
+
+    def test_stale_index_falls_back_to_scan(self, store):
+        run_id = store.append({"command": "test", "n": 1})
+        # Simulate a racing writer: append behind the index's back.
+        line = json.dumps({"schema": RUN_SCHEMA_VERSION, "command": "raw",
+                           "run_id": "a" * 16}) + "\n"
+        with open(store.records_path, "a") as handle:
+            handle.write(line)
+        assert store._index() == {}  # size mismatch -> treated as stale
+        assert store.read(run_id)["run_id"] == run_id
+        assert store.read("a" * 16)["command"] == "raw"
+
+    def test_corrupt_index_ignored(self, store):
+        run_id = store.append({"command": "test", "n": 1})
+        with open(store.index_path, "w") as handle:
+            handle.write("not json")
+        assert store.read(run_id)["run_id"] == run_id
+
+    def test_torn_tail_line_tolerated(self, store):
+        run_id = store.append({"command": "test", "n": 1})
+        with open(store.records_path, "a") as handle:
+            handle.write('{"schema": 1, "truncat')  # crashed writer
+        assert [r["run_id"] for r in store.records()] == [run_id]
+        assert store.read(run_id)["run_id"] == run_id
+
+
+class TestResolve:
+    def test_latest_and_back(self, store):
+        ids = [store.append({"command": "test", "n": n}) for n in range(3)]
+        assert store.resolve("latest")["run_id"] == ids[-1]
+        assert store.resolve("latest~1")["run_id"] == ids[-2]
+        assert store.resolve("latest~2")["run_id"] == ids[0]
+
+    def test_latest_too_far_back(self, store):
+        store.append({"command": "test", "n": 1})
+        with pytest.raises(RunStoreError, match="only 1 run"):
+            store.resolve("latest~1")
+
+    def test_unique_prefix(self, store):
+        run_id = store.append({"command": "test", "n": 1})
+        assert store.resolve(run_id[:6])["run_id"] == run_id
+
+    def test_ambiguous_prefix_raises(self, store):
+        ids = [store.append({"command": "test", "n": n}) for n in range(40)]
+        first_chars = {i[0] for i in ids}
+        if len(first_chars) == len(ids):  # pragma: no cover - improbable
+            pytest.skip("no colliding first characters drawn")
+        shared = next(c for c in first_chars
+                      if sum(i.startswith(c) for i in ids) > 1)
+        with pytest.raises(RunStoreError, match="ambiguous"):
+            store.resolve(shared)
+
+    def test_default_root_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "custom"))
+        assert default_store_root() == str(tmp_path / "custom")
+
+    def test_last_matching(self, store):
+        store.append({"command": "a", "n": 1})
+        wanted = store.append({"command": "b", "n": 2})
+        store.append({"command": "a", "n": 3})
+        found = store.last_matching(lambda r: r["command"] == "b")
+        assert found["run_id"] == wanted
+
+
+class TestRecordAssembly:
+    def test_new_record_fields(self):
+        record = new_record("table2", config={"seed": 3})
+        assert record["command"] == "table2"
+        assert record["config"] == {"seed": 3}
+        assert record["status"] == "ok"
+        assert record["pid"] == os.getpid()
+        assert record["started_at"] > 0
+
+    def test_finalize_attaches_metrics(self):
+        record = finalize_record(
+            new_record("profile"),
+            metrics={"passes": {"schedule": {"seconds": 0.5}},
+                     "counters": {"scheduler.ilp_solves": 4.0},
+                     "gauges": {}, "histograms": {}},
+            wall_seconds=1.25)
+        assert record["wall_seconds"] == 1.25
+        assert record["passes"]["schedule"]["seconds"] == 0.5
+        assert record["metrics"]["counters"]["scheduler.ilp_solves"] == 4.0
+
+
+_APPEND_SCRIPT = """
+import sys
+from repro.obs.store import RunStore
+store = RunStore(sys.argv[1])
+for n in range(25):
+    store.append({"command": "parallel", "writer": sys.argv[2], "n": n,
+                  "padding": "x" * 512})
+"""
+
+
+class TestConcurrentAppend:
+    def test_parallel_writers_produce_intact_lines(self, store, tmp_path):
+        """Two processes appending to one store must never interleave
+        JSONL lines (single O_APPEND write per record)."""
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+        procs = [subprocess.Popen(
+                    [sys.executable, "-c", _APPEND_SCRIPT,
+                     store.root, writer],
+                    env=env, cwd=str(tmp_path))
+                 for writer in ("a", "b")]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        with open(store.records_path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 50
+        parsed = [json.loads(line) for line in lines]  # intact JSON only
+        by_writer = {}
+        for record in parsed:
+            by_writer.setdefault(record["writer"], set()).add(record["n"])
+        assert by_writer == {"a": set(range(25)), "b": set(range(25))}
+        # And the store reads them all back.
+        assert len(store.records()) == 50
+
+
+class TestRecordingUnderFaults:
+    """Satellite: run records are still flushed — and marked — when the
+    degradation ladder or fault injection fires."""
+
+    def test_degraded_compile_records_degraded_run(self, kernel_file,
+                                                   monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           "compile=timeout@variant=infl&influence=True")
+        assert main(["compile", kernel_file, "--variant", "infl"]) == 0
+        record = RunStore().resolve("latest")
+        assert record["status"] == "degraded"
+        (operator,) = record["operators"]
+        assert operator["degradation"]["infl"] == "no-influence"
+        assert operator["schedule_hashes"]["infl"]
+
+    def test_failed_compile_still_flushes_record(self, kernel_file,
+                                                 monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        # Every rung of every ladder times out: compilation fails outright,
+        # but the run record must still land in the store.
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "compile=timeout")
+        assert main(["compile", kernel_file, "--variant", "infl"]) == 1
+        record = RunStore().resolve("latest")
+        assert record["status"] == "failed"
+        assert record["metrics"]["counters"].get("resilience.fallback")
+
+    def test_table2_chaos_worker_crash_records_run(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "ci-chaos-1")
+        assert main(["table2", "--limit", "1", "--networks", "LSTM",
+                     "--jobs", "2"]) == 0
+        record = RunStore().resolve("latest")
+        assert record["command"] == "table2"
+        assert record["status"] == "ok"  # crashes retry deterministically
+        assert record["operators"]
+        for operator in record["operators"]:
+            assert operator["schedule_hashes"]
