@@ -35,10 +35,12 @@ from typing import Optional, Sequence
 from repro.errors import ReproError
 from repro.eval import (
     EvaluationConfig,
+    evaluate_all,
     evaluate_network,
     format_table1,
     format_table2,
 )
+from repro.eval.checkpoint import CheckpointError, EvalCheckpoint
 from repro.eval.tables import format_degradation_summary, geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
@@ -67,6 +69,7 @@ from repro.pipeline import (
     merge_contexts,
     merge_metric_dicts,
 )
+from repro.pipeline.passes import PassContext
 from repro.schedule import SchedulerOptions
 from repro.solver.backend import available_backends, resolve_backend
 from repro.solver.budget import SolveBudget
@@ -137,6 +140,23 @@ def _append_run(args, record: dict) -> str:
         return ""
     logger.info("run %s recorded in %s", run_id, store.root)
     return run_id
+
+
+def _profile_to_record(profile) -> dict:
+    """A lossless rendering of a ``KernelProfile`` for checkpoints (the
+    derived quantities — time, DRAM bytes, coalescing — are properties
+    recomputed from these fields on restore)."""
+    from dataclasses import asdict
+    return asdict(profile)
+
+
+def _profile_from_record(record: dict):
+    """Rebuild a ``KernelProfile`` from :func:`_profile_to_record`."""
+    from repro.gpu.arch import GpuArch
+    from repro.gpu.simulator import KernelProfile
+    fields = dict(record)
+    arch = GpuArch(**fields.pop("arch"))
+    return KernelProfile(arch=arch, **fields)
 
 
 def _kernel_record(profile) -> dict:
@@ -253,19 +273,30 @@ def _cmd_table2(args) -> int:
         trace=bool(args.trace),
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         verify=args.verify,
-        solver=args.solver)
+        solver=args.solver,
+        task_timeout_s=args.task_timeout if args.task_timeout > 0 else None,
+        retries=max(args.retries, 0),
+        retry_backoff_s=max(args.retry_backoff, 0.0))
+    checkpoint = None
+    if not args.no_checkpoint:
+        checkpoint = EvalCheckpoint.for_eval("table2", networks, config,
+                                             root=_store_for(args).root)
+        if args.resume is not None:
+            checkpoint.use_ref(args.resume)
     started = time.monotonic()
     record = new_record("table2", config={
         "networks": ",".join(networks), "seed": args.seed,
         "limit": args.limit, "jobs": args.jobs, "solver": args.solver,
         "deadline_ms": args.deadline_ms,
-        "sample_blocks": args.sample_blocks})
+        "sample_blocks": args.sample_blocks,
+        "task_timeout": args.task_timeout, "retries": args.retries})
     results = []
     completed = False
     try:
-        for network in networks:
-            logger.info("evaluating %s...", network)
-            results.append(evaluate_network(network, config))
+        logger.info("evaluating %s...", ", ".join(networks))
+        by_network = evaluate_all(config, networks, checkpoint=checkpoint,
+                                  resume=args.resume is not None)
+        results = [by_network[network] for network in networks]
         completed = True
         print(format_table2(results))
         print(f"\ngeomean speedup (infl over isl): "
@@ -278,10 +309,15 @@ def _cmd_table2(args) -> int:
             print(format_pass_summary(merged))
     finally:
         # Recorded (and exported) even when evaluation raises: partial runs
-        # stay diagnosable, marked by status.
+        # stay diagnosable, marked by status.  Supervisor interventions
+        # (hung-task kills) mark the run degraded even when every retried
+        # operator eventually succeeded: the run needed help to finish.
+        kills = sum(
+            r.metrics.get("counters", {}).get("resilience.supervisor.kills", 0)
+            for r in results if r.metrics)
         if sum(r.count_failed for r in results) or not completed:
             record["status"] = "failed" if completed else "error"
-        elif sum(r.count_degraded for r in results):
+        elif sum(r.count_degraded for r in results) or kills:
             record["status"] = "degraded"
         record["operators"] = [dict(op.as_record(), network=r.network)
                                for r in results for op in r.operators
@@ -307,6 +343,11 @@ def _cmd_table2(args) -> int:
         logger.error("%d operator(s) compiled at reduced quality; pass "
                      "--allow-degraded to accept the fallback results",
                      degraded)
+        return 1
+    if kills and not args.allow_degraded:
+        logger.error("the supervisor killed %d hung worker(s) to finish "
+                     "this run; pass --allow-degraded to accept it",
+                     int(kills))
         return 1
     return 0
 
@@ -361,6 +402,19 @@ def _cmd_profile(args) -> int:
             return 2
     suite = generate_network_suite(network, seed=args.seed,
                                    limit=args.limit if args.limit > 0 else None)
+    checkpoint = None
+    stored: dict = {}
+    if not args.no_checkpoint:
+        checkpoint = EvalCheckpoint("profile", [network], {
+            "variant": args.variant, "seed": args.seed, "limit": args.limit,
+            "sample_blocks": args.sample_blocks,
+            "max_threads": args.max_threads,
+            "deadline_ms": args.deadline_ms,
+            "solver": resolve_backend(args.solver).name,
+        }, root=_store_for(args).root)
+        if args.resume is not None:
+            checkpoint.use_ref(args.resume)
+            stored = checkpoint.stored_records()
     started = time.monotonic()
     record = new_record("profile", config={
         "networks": network, "variant": args.variant, "seed": args.seed,
@@ -369,16 +423,38 @@ def _cmd_profile(args) -> int:
         "max_threads": args.max_threads})
     profiles = []
     operators: list[dict] = []
+    metric_dicts: list[dict] = []
     degraded: list[tuple[str, str]] = []
     failed: list[tuple[str, str]] = []
     completed = False
     try:
-        for op_class, kernel in suite:
+        for index, (op_class, kernel) in enumerate(suite):
+            restored = stored.get(checkpoint.operator_key(kernel)) \
+                if stored else None
+            if restored is not None and "operator" in restored:
+                entry = restored["operator"]
+                operators.append(entry)
+                profiles.extend(_profile_from_record(k)
+                                for k in restored.get("profiles", ()))
+                metric_dicts.append(restored.get("metrics") or {})
+                if entry.get("status") == "failed":
+                    failed.append((kernel.name, entry.get("error", "")))
+                elif entry.get("status") == "degraded":
+                    level = entry.get("degradation", {}) \
+                        .get(args.variant, "?")
+                    degraded.append((kernel.name, level))
+                logger.info("restored %s (%s) from checkpoint",
+                            kernel.name, op_class)
+                continue
             logger.info("profiling %s (%s)...", kernel.name, op_class)
+            # One metric snapshot per operator — the granularity both the
+            # checkpoint and the merged report need.
+            pipeline.session.context = PassContext(trace=bool(args.trace))
             entry = {"name": kernel.name, "op_class": op_class,
                      "times": {}, "launches": {}, "schedule_hashes": {},
                      "status": "ok"}
             operators.append(entry)
+            op_profiles: list = []
             try:
                 compiled = pipeline.compile(kernel, args.variant)
             except ReproError as exc:
@@ -386,29 +462,40 @@ def _cmd_profile(args) -> int:
                 entry["status"] = "failed"
                 entry["error"] = f"{type(exc).__name__}: {exc}"
                 logger.warning("skipping %s: %s", kernel.name, exc)
-                continue
-            if compiled.degradation != "none":
-                degraded.append((kernel.name, compiled.degradation))
-                entry["status"] = "degraded"
-                entry["degradation"] = {args.variant: compiled.degradation}
-            timing = pipeline.measure(compiled)
-            entry["times"][args.variant] = timing.time
-            entry["launches"][args.variant] = compiled.n_launches
-            entry["schedule_hashes"][args.variant] = compiled.schedule_hash
-            profiles.extend(timing.profiles)
+            else:
+                if compiled.degradation != "none":
+                    degraded.append((kernel.name, compiled.degradation))
+                    entry["status"] = "degraded"
+                    entry["degradation"] = {args.variant:
+                                            compiled.degradation}
+                timing = pipeline.measure(compiled)
+                entry["times"][args.variant] = timing.time
+                entry["launches"][args.variant] = compiled.n_launches
+                entry["schedule_hashes"][args.variant] = \
+                    compiled.schedule_hash
+                op_profiles = list(timing.profiles)
+                profiles.extend(op_profiles)
+            metrics = pipeline.context.as_dict()
+            metric_dicts.append(metrics)
+            if checkpoint is not None:
+                checkpoint.record(network, index, kernel, {
+                    "operator": entry,
+                    "profiles": [_profile_to_record(p) for p in op_profiles],
+                    "metrics": metrics})
         completed = True
+        merged_context = merge_contexts(metric_dicts)
         backend = resolve_backend(args.solver)
         print(f"profile report — {network}, variant {args.variant}, "
               f"solver {backend.name}, "
               f"{len(suite)} operator(s), {len(profiles)} kernel launch(es)")
         print()
-        print(pipeline.context.format_summary())
+        print(merged_context.format_summary())
         print()
-        print(format_metrics_report(pipeline.context.obs.metrics))
+        print(format_metrics_report(merged_context.obs.metrics))
         print()
         print(_format_kernel_table(profiles))
         print()
-        counters = pipeline.context.counters
+        counters = merged_context.counters
         ok = len(suite) - len(degraded) - len(failed)
         print(f"degradation summary: {ok} ok, {len(degraded)} degraded, "
               f"{len(failed)} failed; "
@@ -427,10 +514,12 @@ def _cmd_profile(args) -> int:
             record["status"] = "degraded"
         record["operators"] = operators
         record["kernels"] = [_kernel_record(p) for p in profiles]
-        finalize_record(record, metrics=pipeline.context.as_dict(),
+        if checkpoint is not None and checkpoint.counters:
+            metric_dicts.append({"counters": dict(checkpoint.counters)})
+        finalize_record(record, metrics=merge_metric_dicts(metric_dicts),
                         wall_seconds=time.monotonic() - started)
         _append_run(args, record)
-        _export_observability(args, [pipeline.context.as_dict()])
+        _export_observability(args, metric_dicts)
     return 1 if failed else 0
 
 
@@ -529,12 +618,20 @@ def _format_started(started_at: float) -> str:
     return stamp.strftime("%Y-%m-%d %H:%M:%S")
 
 
+def _no_runs(store: RunStore) -> bool:
+    """True (after printing a friendly notice) when the store is missing
+    or empty — `repro obs ...` against a fresh checkout is not an error."""
+    if store.records():
+        return False
+    print(f"no runs recorded in {store.root}")
+    return True
+
+
 def _cmd_obs_list(args) -> int:
     store = _store_for(args)
-    records = store.records()
-    if not records:
-        print(f"(no runs stored in {store.root})")
+    if _no_runs(store):
         return 0
+    records = store.records()
     for record in records:
         config = record.get("config", {})
         scope = config.get("networks") or config.get("file") \
@@ -547,7 +644,10 @@ def _cmd_obs_list(args) -> int:
 
 
 def _cmd_obs_show(args) -> int:
-    record = _store_for(args).resolve(args.run)
+    store = _store_for(args)
+    if _no_runs(store):
+        return 0
+    record = store.resolve(args.run)
     print(json.dumps(record, indent=2, sort_keys=True))
     return 0
 
@@ -568,6 +668,8 @@ def _cmd_obs_diff(args) -> int:
 
 def _cmd_obs_trend(args) -> int:
     store = _store_for(args)
+    if _no_runs(store):
+        return 0
     report = build_trend(store.records(), match=args.match,
                          threshold=args.threshold)
     print(report.render())
@@ -742,7 +844,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "semantic drift marks it failed")
     p.add_argument("--allow-degraded", action="store_true",
                    help="exit 0 even when operators compiled at reduced "
-                        "quality via the degradation ladder")
+                        "quality via the degradation ladder (or needed "
+                        "supervisor intervention)")
+    p.add_argument("--task-timeout", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="kill a worker whose task heartbeat is older than "
+                        "this (0 = derive from --deadline-ms with headroom, "
+                        "or disable when no deadline is set)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per task lost to a hung or dead worker "
+                        "(deterministic exponential backoff)")
+    p.add_argument("--retry-backoff", type=float, default=0.1,
+                   metavar="SECONDS",
+                   help="base backoff before retry N: backoff * 2**(N-1)")
+    p.add_argument("--resume", nargs="?", const="auto", default=None,
+                   metavar="CKPT",
+                   help="reload completed operators from the checkpoint "
+                        "(bare: the one this configuration derives; or a "
+                        "checkpoint-id prefix) and evaluate the remainder")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not append per-operator checkpoint records")
     _add_solver_argument(p)
     _add_obs_arguments(p)
     _add_store_arguments(p)
@@ -765,6 +886,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", default="", metavar="RUN",
                    help="print per-kernel deltas against a stored run "
                         "(id, unique prefix, or latest[~N])")
+    p.add_argument("--resume", nargs="?", const="auto", default=None,
+                   metavar="CKPT",
+                   help="reload completed operators from the checkpoint "
+                        "(bare: the one this configuration derives; or a "
+                        "checkpoint-id prefix) and profile the remainder")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="do not append per-operator checkpoint records")
     _add_solver_argument(p)
     _add_obs_arguments(p)
     _add_store_arguments(p)
@@ -892,7 +1020,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         logger.error("error: %s", exc)
         return 2
     try:
-        return args.func(args)
+        code = args.func(args)
+        # Flush inside the try: a closed pipe often only surfaces at
+        # flush time, and it must land in the BrokenPipeError arm below
+        # (silent 141) rather than in the interpreter's shutdown hook
+        # (traceback + exit 120).  Covers every subcommand, `obs` and
+        # `explain` included.
+        sys.stdout.flush()
+        return code
     except KernelParseError as exc:
         logger.error("parse error: %s", exc)
         return 2
@@ -900,6 +1035,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         logger.error("error: %s", exc)
         return 2
     except RunStoreError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    except CheckpointError as exc:
         logger.error("error: %s", exc)
         return 2
     except ReproError as exc:

@@ -1,6 +1,7 @@
 """Evaluation harness: run the four variants over the network suites and
 format Table I / Table II exactly as the paper reports them."""
 
+from repro.eval.checkpoint import CheckpointError, EvalCheckpoint
 from repro.eval.runner import (
     EvaluationConfig,
     NetworkResult,
@@ -8,15 +9,20 @@ from repro.eval.runner import (
     evaluate_network,
     evaluate_all,
 )
+from repro.eval.supervisor import SupervisedRunError, resolve_task_timeout
 from repro.eval.tables import format_table1, format_table2, table2_row
 
 __all__ = [
+    "CheckpointError",
+    "EvalCheckpoint",
     "EvaluationConfig",
     "NetworkResult",
     "OperatorResult",
+    "SupervisedRunError",
     "evaluate_network",
     "evaluate_all",
     "format_table1",
     "format_table2",
+    "resolve_task_timeout",
     "table2_row",
 ]

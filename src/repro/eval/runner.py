@@ -11,27 +11,37 @@ For every operator we compile/measure ``isl``, ``tvm``, ``novec`` and
 These are the quantities Table II aggregates.
 
 Suites can be evaluated in parallel (``jobs > 1``): operators are farmed
-out to a :class:`~concurrent.futures.ProcessPoolExecutor`, each worker
-regenerating its kernels deterministically from ``(network, seed, limit)``
-so no IR crosses process boundaries, and the per-worker pass metrics are
-merged into one report.  The compilation model is deterministic, so the
-parallel path produces bitwise-identical results to the serial one.
+out to a supervised worker fleet (:mod:`repro.eval.supervisor`), each
+worker regenerating its kernels deterministically from ``(network, seed,
+limit)`` so no IR crosses process boundaries, and the per-worker pass
+metrics are merged into one report.  The compilation model is
+deterministic, so the parallel path produces bitwise-identical results to
+the serial one.  Workers heartbeat between variant compilations; hung
+workers are killed and their task retried with deterministic backoff (see
+the supervisor module for the full protocol).
 
 Failures are isolated per operator: a typed compilation failure
 (:class:`~repro.errors.ReproError`) marks that operator's
 :attr:`OperatorResult.status` ``failed`` (or ``degraded`` when the
 pipeline's fallback ladder produced a lower-quality result) instead of
-aborting the run, and operators lost to a dead worker process
-(``BrokenProcessPool``) are retried serially in the parent — fault
-decisions are content-keyed (:mod:`repro.faultinject`), so serial and
-parallel runs produce identical degradation records.
+aborting the run; operators lost to dead worker processes are retried —
+serially in the parent once worker retries are exhausted, each parent
+attempt on a fresh pipeline (hence a fresh ambient
+:class:`~repro.solver.budget.SolveBudget`) so a retried operator never
+inherits an already-charged deadline.  Fault decisions are content-keyed
+(:mod:`repro.faultinject`), so serial and parallel runs produce identical
+degradation records.
+
+With an :class:`~repro.eval.checkpoint.EvalCheckpoint`, every completed
+operator is durably appended as it finishes and a ``--resume`` run
+reloads completed operators by content key, scheduling only the
+remainder.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -68,6 +78,10 @@ class EvaluationConfig:
     deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
     verify: bool = False   # run the differential oracle on every operator
     solver: str = ""       # backend name; "" = REPRO_SOLVER env / default
+    # -- supervision (parallel runs only; see repro.eval.supervisor) ---------
+    task_timeout_s: Optional[float] = None  # None/0 = derive from deadline_ms
+    retries: int = 2       # worker-side retries per lost task
+    retry_backoff_s: float = 0.1  # base of the exponential retry backoff
 
 
 @dataclass
@@ -86,6 +100,8 @@ class OperatorResult:
     error: str = ""             # "variant: ExcType: message; ..." when failed
     verify_problems: list = field(default_factory=list)  # oracle findings
     schedule_hashes: dict = field(default_factory=dict)  # variant -> hash
+    attempts: int = 1           # evaluation attempts under supervision
+    kill_reason: str = ""       # ";"-joined supervisor loss reasons
 
     def speedup(self, variant: str) -> float:
         base = self.times.get("isl")
@@ -113,6 +129,10 @@ class OperatorResult:
             record["error"] = self.error
         if self.verify_problems:
             record["verify_problems"] = list(self.verify_problems)
+        if self.attempts != 1:
+            record["attempts"] = self.attempts
+        if self.kill_reason:
+            record["kill_reason"] = self.kill_reason
         return record
 
 
@@ -185,13 +205,19 @@ def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
 
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
-                      kernel: Kernel, verify: bool = False) -> OperatorResult:
+                      kernel: Kernel, verify: bool = False,
+                      beat: Optional[Callable[[], None]] = None
+                      ) -> OperatorResult:
     """Compile and measure one fused operator under all four variants.
 
     Typed failures are contained per variant: a variant whose whole
     degradation ladder failed is simply absent from ``times`` and the
     operator is marked ``failed``; a variant produced by a lower ladder
     rung marks it ``degraded``.
+
+    ``beat`` (supervised workers) is invoked before each variant
+    compilation — the heartbeat that lets the supervisor distinguish a
+    slow-but-progressing task from a hung one.
 
     With ``verify`` the differential oracle (:mod:`repro.verify.oracle`)
     runs after the variant loop against the pipeline's cached compiles;
@@ -216,6 +242,8 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     # one process, with the scope freshly installed.
     with use_solve_cache(SolveCache()), use_warm_pool(WarmStartPool()):
         for variant in VARIANTS:
+            if beat is not None:
+                beat()
             try:
                 compiled = pipeline.compile(kernel, variant)
             except ReproError as exc:
@@ -267,8 +295,8 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
 _WORKER_SUITES: dict[tuple, list] = {}
 _WORKER_PIPELINES: dict[str, AkgPipeline] = {}
 
-# True only in pool worker processes (set by the pool initializer), so
-# injected worker crashes never fire during the parent's serial retry.
+# True only in supervised worker processes (set by the worker main), so
+# injected worker faults never fire during the parent's serial retry.
 _IS_WORKER = False
 
 
@@ -285,8 +313,41 @@ def _worker_suite(network: str, seed: int, limit: Optional[int]) -> list:
     return _WORKER_SUITES[key]
 
 
-def _evaluate_index(network: str, config: EvaluationConfig,
-                    index: int) -> tuple:
+def _worker_faults(network: str, kernel_name: str, attempt: int) -> None:
+    """Consult the ``worker*`` fault sites (supervised workers only).
+
+    The ``attempt`` attribute is part of the decision key, so a
+    probabilistic rule that crashed attempt 0 gets a fresh draw on the
+    retry — while a ``p=1`` rule (or one matching ``@attempt=0``) stays
+    fully deterministic.
+    """
+    attrs = {"network": network, "kernel": kernel_name, "attempt": attempt}
+    if fault_action("worker", **attrs) == "crash":
+        os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
+    hang = fault_action("worker.hang", **attrs)
+    if hang is not None:
+        # "hang" = park effectively forever (the supervisor's SIGKILL is
+        # the only way out); a numeric action sleeps that many seconds.
+        try:
+            duration = min(float(hang), 3600.0)
+        except ValueError:
+            duration = 3600.0
+        time.sleep(duration)
+    oom = fault_action("worker.oom", **attrs)
+    if oom is not None:
+        try:
+            ballast_mb = int(oom)
+        except ValueError:
+            ballast_mb = 64
+        ballast_mb = max(1, min(ballast_mb, 256))  # bounded: never a real OOM
+        ballast = bytearray(ballast_mb << 20)
+        ballast[::4096] = b"\xff" * len(ballast[::4096])  # fault the pages in
+        os._exit(137)  # the exit code an OOM-killed process reports
+
+
+def _evaluate_index(network: str, config: EvaluationConfig, index: int,
+                    attempt: int = 0,
+                    beat: Optional[Callable[[], None]] = None) -> tuple:
     """Worker entry point: evaluate operator ``index`` of one network.
 
     Returns ``(index, OperatorResult, pass-metrics dict)``; the context is
@@ -299,73 +360,29 @@ def _evaluate_index(network: str, config: EvaluationConfig,
     pipeline.session.context = PassContext(trace=config.trace)
     op_class, kernel = _worker_suite(network, config.seed,
                                      config.limit_per_network)[index]
-    if _IS_WORKER and fault_action("worker", network=network,
-                                   kernel=kernel.name) == "crash":
-        os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
+    if _IS_WORKER:
+        _worker_faults(network, kernel.name, attempt)
     result = evaluate_operator(pipeline, kernel.name, op_class, kernel,
-                               verify=config.verify)
+                               verify=config.verify, beat=beat)
     return index, result, pipeline.context.as_dict()
 
 
-def _evaluate_parallel(tasks: list[tuple[str, int]],
-                       config: EvaluationConfig, jobs: int,
-                       progress: Optional[Callable[[str], None]]
-                       ) -> dict[str, tuple[list, list]]:
-    """Run ``(network, index)`` tasks over a process pool.
+def _evaluate_index_fresh(network: str, config: EvaluationConfig,
+                          index: int) -> tuple:
+    """Parent-side serial retry of one operator on a *fresh* pipeline.
 
-    Returns ``{network: (operator results in suite order, metric dicts)}``.
-    Tasks lost to a dead worker (``BrokenProcessPool``) are retried
-    serially in the parent after the pool winds down; the compilation
-    model is deterministic, so retried items produce the same results a
-    healthy worker would have.
+    A fresh pipeline means a fresh :class:`SolveBudget` in its scheduler
+    options, so the retried operator gets the full deadline rather than
+    whatever an earlier attempt left behind.  Metric-equivalent to a
+    worker evaluation: the schedule cache only hits within one operator's
+    variants, so a cold cache changes nothing.
     """
-    per_network: dict[str, tuple[list, list]] = {}
-    counts: dict[str, int] = {}
-    for network, _ in tasks:
-        counts[network] = counts.get(network, 0) + 1
-    for network, count in counts.items():
-        per_network[network] = ([None] * count, [])
-    broken: list[tuple[str, int]] = []
-    with ProcessPoolExecutor(max_workers=jobs,
-                             initializer=_mark_worker_process) as pool:
-        futures = {}
-        try:
-            for network, index in tasks:
-                futures[pool.submit(_evaluate_index, network, config,
-                                    index)] = (network, index)
-        except BrokenProcessPool:
-            # Pool died mid-submission: everything not yet submitted goes
-            # straight to the serial retry list.
-            submitted = set(futures.values())
-            broken.extend(t for t in tasks if t not in submitted)
-        for future in as_completed(futures):
-            network, index = futures[future]
-            try:
-                index, result, metrics = future.result()
-            except BrokenProcessPool:
-                broken.append((network, index))
-                continue
-            results, metric_dicts = per_network[network]
-            results[index] = result
-            metric_dicts.append(metrics)
-            if progress:
-                progress(f"{network}: {result.name}")
-    if broken:
-        logger.warning("worker pool broke; retrying %d operator(s) "
-                       "serially in the parent", len(broken))
-        for network, index in sorted(broken):
-            index, result, metrics = _evaluate_index(network, config, index)
-            results, metric_dicts = per_network[network]
-            results[index] = result
-            metric_dicts.append(metrics)
-            if progress:
-                progress(f"{network}: {result.name} (retried)")
-        # Surface the retries in the merged report.  Kept in its own
-        # snapshot: every other counter stays identical to a serial run.
-        first = broken[0][0]
-        per_network[first][1].append(
-            {"counters": {"resilience.worker_retries": float(len(broken))}})
-    return per_network
+    pipeline = _make_pipeline(config)
+    op_class, kernel = _worker_suite(network, config.seed,
+                                     config.limit_per_network)[index]
+    result = evaluate_operator(pipeline, kernel.name, op_class, kernel,
+                               verify=config.verify)
+    return index, result, pipeline.context.as_dict()
 
 
 # -- entry points ------------------------------------------------------------
@@ -381,53 +398,99 @@ def evaluate_network(network: str,
     evaluated concurrently with results identical to the serial path.
     """
     config = config or EvaluationConfig()
-    n_jobs = config.jobs if jobs is None else jobs
-    suite = generate_network_suite(network, seed=config.seed,
-                                   limit=config.limit_per_network)
-    if n_jobs and n_jobs > 1:
-        tasks = [(network, index) for index in range(len(suite))]
-        per_network = _evaluate_parallel(tasks, config, n_jobs, progress)
-        results, metric_dicts = per_network[network]
-        return NetworkResult(network=network, operators=results,
-                             metrics=merge_metric_dicts(metric_dicts))
-    pipeline = _make_pipeline(config)
-    results = []
-    for op_class, kernel in suite:
-        if progress:
-            progress(f"{network}: {kernel.name}")
-        results.append(evaluate_operator(pipeline, kernel.name, op_class,
-                                         kernel, verify=config.verify))
-    return NetworkResult(network=network, operators=results,
-                         metrics=pipeline.context.as_dict())
+    return evaluate_all(config, [network], progress, jobs=jobs)[network]
 
 
 def evaluate_all(config: Optional[EvaluationConfig] = None,
                  networks: Optional[list[str]] = None,
                  progress: Optional[Callable[[str], None]] = None,
-                 jobs: Optional[int] = None) -> dict[str, NetworkResult]:
+                 jobs: Optional[int] = None,
+                 checkpoint=None,
+                 resume: bool = False) -> dict[str, NetworkResult]:
     """Evaluate every network (the full Table II).
 
     With ``jobs > 1`` all operators of all requested networks share one
-    process pool, so small suites do not serialize behind large ones.
-    Per-operator failures are contained in ``OperatorResult.status``; this
-    function only raises for non-compilation errors (genuine bugs).
+    supervised worker fleet, so small suites do not serialize behind
+    large ones.  Per-operator failures are contained in
+    ``OperatorResult.status``; this function only raises for
+    non-compilation errors (genuine bugs).
+
+    ``checkpoint`` (an :class:`~repro.eval.checkpoint.EvalCheckpoint`)
+    durably records each operator as it completes; with ``resume`` the
+    checkpoint is consulted first and already-completed operators are
+    restored by content key instead of re-evaluated — the merged result
+    is bitwise-identical to an uninterrupted run because both the
+    operator result and its metric snapshot round-trip losslessly.
     """
     config = config or EvaluationConfig()
     n_jobs = config.jobs if jobs is None else jobs
     names = list(networks or NETWORKS)
-    if n_jobs and n_jobs > 1:
-        tasks = []
-        for network in names:
-            suite = generate_network_suite(network, seed=config.seed,
-                                           limit=config.limit_per_network)
-            tasks.extend((network, index) for index in range(len(suite)))
-        per_network = _evaluate_parallel(tasks, config, n_jobs, progress)
-        return {network: NetworkResult(
-                    network=network,
-                    operators=per_network[network][0],
-                    metrics=merge_metric_dicts(per_network[network][1]))
-                for network in names}
+    suites = {network: generate_network_suite(network, seed=config.seed,
+                                              limit=config.limit_per_network)
+              for network in names}
+    slots: dict[str, list] = {network: [None] * len(suites[network])
+                              for network in names}
+    metric_dicts: dict[str, list] = {network: [] for network in names}
+
+    restored: dict[tuple[str, int], tuple] = {}
+    if checkpoint is not None and resume:
+        kernels = {(network, index): kernel
+                   for network in names
+                   for index, (_, kernel) in enumerate(suites[network])}
+        restored = checkpoint.restore_operators(kernels)
+        for (network, index), (result, metrics) in sorted(restored.items()):
+            slots[network][index] = result
+            metric_dicts[network].append(metrics)
+            if progress:
+                progress(f"{network}: {result.name} (restored)")
+
+    def on_complete(network: str, index: int, result, metrics: dict) -> None:
+        slots[network][index] = result
+        metric_dicts[network].append(metrics)
+        if checkpoint is not None:
+            _, kernel = suites[network][index]
+            checkpoint.record_operator(network, index, kernel, result,
+                                       metrics)
+        if progress:
+            progress(f"{network}: {result.name}")
+
+    tasks = [(network, index)
+             for network in names
+             for index in range(len(suites[network]))
+             if (network, index) not in restored]
+
+    supervisor_counters: dict[str, dict] = {}
+    if tasks and n_jobs and n_jobs > 1:
+        from repro.eval.supervisor import run_supervised
+        supervisor_counters = run_supervised(tasks, config, n_jobs, suites,
+                                             on_complete)
+    else:
+        pipeline = _make_pipeline(config)
+        for network, index in tasks:
+            op_class, kernel = suites[network][index]
+            # Reset the context per operator — the same discipline workers
+            # follow — so checkpoints carry exact per-operator snapshots
+            # and the merged totals match the parallel path bit for bit.
+            pipeline.session.context = PassContext(trace=config.trace)
+            result = evaluate_operator(pipeline, kernel.name, op_class,
+                                       kernel, verify=config.verify)
+            on_complete(network, index, result, pipeline.context.as_dict())
+
     out = {}
     for network in names:
-        out[network] = evaluate_network(network, config, progress, jobs=1)
+        dicts = list(metric_dicts[network])
+        # Supervisor interventions ride in their own snapshot, appended
+        # only when non-empty: a healthy parallel run contributes no extra
+        # counters and serial = parallel metric parity holds exactly.
+        extra = supervisor_counters.get(network)
+        if extra:
+            dicts.append({"counters": dict(extra)})
+        if checkpoint is not None and checkpoint.counters:
+            # Checkpoint bookkeeping is global to the run; attach it to
+            # the first network only so merging all networks counts once.
+            if network == names[0]:
+                dicts.append({"counters": dict(checkpoint.counters)})
+        out[network] = NetworkResult(network=network,
+                                     operators=slots[network],
+                                     metrics=merge_metric_dicts(dicts))
     return out

@@ -12,8 +12,24 @@ exercised.  This module provides an ambient *fault plan* — mirroring
   per-dimension ILP ``infeasible`` (drives the backtracking ladder) or
   ``timeout`` it.
 * ``worker``             (``eval/runner.py``): ``crash`` the worker
-  process evaluating a chosen operator (exercises the
-  ``BrokenProcessPool`` serial retry).  Only fires inside pool workers.
+  process evaluating a chosen operator (exercises the supervisor's
+  death/retry path).  Only fires inside supervised workers.
+* ``worker.hang``        (``eval/runner.py``): park the worker before it
+  evaluates — action ``hang`` sleeps effectively forever (the
+  supervisor's task-timeout kill is the only way out), a numeric action
+  sleeps that many seconds.  Only fires inside supervised workers.
+* ``worker.oom``         (``eval/runner.py``): allocate a bounded memory
+  ballast (numeric action = MiB, capped at 256) and die with exit 137,
+  simulating an OOM-kill.  Only fires inside supervised workers.
+* ``store.append``       (``obs/store.py``, ``eval/checkpoint.py``):
+  fail a durable append with ``enospc`` (raised before any byte is
+  written) or ``short-write`` (half the line lands, then ``EIO`` — the
+  torn-tail case readers must tolerate).  Attributes: ``kind`` (``run``
+  or ``checkpoint``), ``path``, ``key``.
+
+The ``worker*`` sites carry an ``attempt`` attribute, so probabilistic
+rules get a fresh content-keyed draw on each supervised retry while
+``p=1`` (or ``@attempt=0``-matched) rules stay fully deterministic.
 
 Decisions are *content-keyed*: whether a rule fires depends solely on the
 plan seed, the site name and the site's attributes (hashed through
@@ -114,6 +130,25 @@ BUILTIN_PLANS: dict[str, FaultPlan] = {
     "ci-chaos-1": FaultPlan(
         name="ci-chaos-1", seed=1001,
         rules=(FaultRule(site="worker", action="crash", probability=0.25),)),
+    # ``ci-chaos-2`` exercises the supervision + checkpoint paths:
+    # deterministically hang one LSTM operator's first attempt (the
+    # supervisor must kill it within --task-timeout and the retry
+    # succeeds), OOM-kill another one once, and fail half of all
+    # checkpoint appends with ENOSPC (the checkpoint degrades to
+    # best-effort; results are unaffected).  Run-store appends
+    # (kind=run) are left alone so CI can still read the run record.
+    "ci-chaos-2": FaultPlan(
+        name="ci-chaos-2", seed=2002,
+        rules=(
+            FaultRule(site="worker.hang", action="30",
+                      match=(("kernel", "lstm_op001_elementwise_vec"),
+                             ("attempt", "0"))),
+            FaultRule(site="worker.oom", action="32",
+                      match=(("kernel", "lstm_op003_broadcast"),
+                             ("attempt", "0"))),
+            FaultRule(site="store.append", action="enospc",
+                      match=(("kind", "checkpoint"),), probability=0.5),
+        )),
 }
 
 

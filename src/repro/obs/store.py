@@ -93,13 +93,28 @@ class RunStore:
             return run_id
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
+        # Fault-injection site: chaos plans can fail durable appends with
+        # ENOSPC (nothing written) or a short write (a torn tail line the
+        # readers must skip).
+        from repro.faultinject import fault_action
+        action = fault_action("store.append", kind="run",
+                              path=os.path.basename(self.records_path),
+                              key=run_id)
+        if action == "enospc":
+            import errno
+            raise OSError(errno.ENOSPC, "injected ENOSPC (fault plan)")
         os.makedirs(self.root, exist_ok=True)
         fd = os.open(self.records_path,
                      os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
         try:
+            data = line.encode()
+            if action == "short-write":
+                import errno
+                os.write(fd, data[:max(1, len(data) // 2)])
+                raise OSError(errno.EIO, "injected short write (fault plan)")
             # One write call: O_APPEND makes the offset update + write
             # atomic, so concurrent appenders cannot interleave lines.
-            os.write(fd, line.encode())
+            os.write(fd, data)
         finally:
             os.close(fd)
         self._refresh_index()

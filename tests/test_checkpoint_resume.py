@@ -1,0 +1,215 @@
+"""Crash-safe checkpointing and ``--resume``.
+
+The end-to-end test SIGKILLs a real ``table2`` subprocess mid-evaluation
+and asserts the resumed run's report is byte-identical to an
+uninterrupted one (everything before the wall-clock pass-timing section,
+which legitimately varies between runs).
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.eval.checkpoint import (
+    CheckpointError,
+    EvalCheckpoint,
+    operator_from_record,
+    operator_to_record,
+)
+from repro.eval.runner import EvaluationConfig, evaluate_all
+
+REPORT_SPLIT = "per-pass compile time:"
+
+
+def _deterministic_part(text: str) -> str:
+    """Everything before the wall-clock pass-timing section."""
+    return text.split(REPORT_SPLIT)[0]
+
+
+def _config(**overrides) -> EvaluationConfig:
+    base = dict(limit_per_network=2)
+    base.update(overrides)
+    return EvaluationConfig(**base)
+
+
+class TestOperatorRoundtrip:
+    def test_lossless_including_scheduler_stats(self):
+        results = evaluate_all(_config(limit_per_network=1), ["LSTM"])
+        (op,) = results["LSTM"].operators
+        assert op.scheduler_stats  # the part as_record drops
+        restored = operator_from_record(
+            json.loads(json.dumps(operator_to_record(op))))
+        assert restored == op
+
+    def test_attempts_and_kill_reason_survive(self):
+        results = evaluate_all(_config(limit_per_network=1), ["LSTM"])
+        (op,) = results["LSTM"].operators
+        op.attempts, op.kill_reason = 3, "hung;worker-died(exit 9)"
+        restored = operator_from_record(
+            json.loads(json.dumps(operator_to_record(op))))
+        assert restored.attempts == 3
+        assert restored.kill_reason == "hung;worker-died(exit 9)"
+
+
+class TestEvalCheckpoint:
+    def test_restore_schedules_only_the_remainder(self):
+        config = _config()
+        checkpoint = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        full = evaluate_all(config, ["LSTM"], checkpoint=checkpoint)
+        assert checkpoint.counters["resilience.checkpoint.appends"] == 2
+
+        evaluated = []
+        resumed_ckpt = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        resumed = evaluate_all(config, ["LSTM"], checkpoint=resumed_ckpt,
+                               resume=True,
+                               progress=evaluated.append)
+        # Everything restored, nothing recompiled; results identical.
+        assert all("(restored)" in line for line in evaluated)
+        assert resumed["LSTM"].operators == full["LSTM"].operators
+        assert resumed_ckpt.counters[
+            "resilience.checkpoint.restored"] == 2
+
+    def test_config_change_invalidates_content_keys(self):
+        config = _config()
+        checkpoint = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        evaluate_all(config, ["LSTM"], checkpoint=checkpoint)
+
+        other = _config(seed=1)
+        other_ckpt = EvalCheckpoint.for_eval("table2", ["LSTM"], other)
+        other_ckpt.restore_path = checkpoint.path  # force the old file
+        progress = []
+        evaluate_all(other, ["LSTM"], checkpoint=other_ckpt, resume=True,
+                     progress=progress.append)
+        # Different seed -> different kernels -> no content-key matches.
+        assert not any("(restored)" in line for line in progress)
+
+    def test_torn_tail_line_skipped(self):
+        config = _config()
+        checkpoint = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        full = evaluate_all(config, ["LSTM"], checkpoint=checkpoint)
+        with open(checkpoint.path, "a") as handle:
+            handle.write('{"schema":1,"content_key":"zzz","opera')
+        resumed_ckpt = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        resumed = evaluate_all(config, ["LSTM"], checkpoint=resumed_ckpt,
+                               resume=True)
+        assert resumed["LSTM"].operators == full["LSTM"].operators
+
+    def test_enospc_disables_checkpoint_but_not_results(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           "store.append=enospc@kind=checkpoint")
+        config = _config()
+        clean = evaluate_all(config, ["LSTM"])
+        checkpoint = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        results = evaluate_all(config, ["LSTM"], checkpoint=checkpoint)
+        assert results["LSTM"].operators == clean["LSTM"].operators
+        assert not os.path.exists(checkpoint.path)
+        assert checkpoint.counters[
+            "resilience.checkpoint.append_errors"] == 1
+        assert "resilience.checkpoint.appends" not in checkpoint.counters
+
+    def test_unknown_and_ambiguous_refs(self, tmp_path):
+        config = _config()
+        checkpoint = EvalCheckpoint.for_eval("table2", ["LSTM"], config)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            checkpoint.use_ref("deadbeef")
+        os.makedirs(checkpoint.root, exist_ok=True)
+        for name in ("aa11.jsonl", "aa22.jsonl"):
+            open(os.path.join(checkpoint.root, name), "w").close()
+        with pytest.raises(CheckpointError, match="ambiguous"):
+            checkpoint.use_ref("aa")
+        checkpoint.use_ref("aa1")  # unique prefix resolves
+        assert checkpoint.restore_path.endswith("aa11.jsonl")
+
+
+class TestCliResume:
+    def test_resume_report_byte_identical(self, capsys):
+        args = ["--quiet", "table2", "--networks", "LSTM", "--limit", "2",
+                "--no-record"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert _deterministic_part(resumed) == _deterministic_part(first)
+
+    def test_resume_unknown_checkpoint_exits_2(self, capsys):
+        assert main(["--quiet", "table2", "--networks", "LSTM",
+                     "--limit", "1", "--no-record",
+                     "--resume", "deadbeef"]) == 2
+        capsys.readouterr()
+
+
+def _repro_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestSigkillResumeEndToEnd:
+    """Kill a real `table2` run mid-evaluation; resume must complete and
+    match an uninterrupted run byte for byte."""
+
+    ARGS = ["-m", "repro", "-q", "table2", "--networks", "ResNet50",
+            "--limit", "0", "--no-record"]
+
+    def test_sigkill_then_resume_matches_uninterrupted(self, tmp_path):
+        env = _repro_env()
+        reference = subprocess.run(
+            [sys.executable] + self.ARGS + ["--no-checkpoint"],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert reference.returncode == 0, reference.stderr
+
+        runs_dir = str(tmp_path / "runs")
+        env["REPRO_RUNS_DIR"] = runs_dir
+        proc = subprocess.Popen([sys.executable] + self.ARGS, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120
+            lines = 0
+            while time.monotonic() < deadline and proc.poll() is None:
+                files = glob.glob(os.path.join(runs_dir, "checkpoints",
+                                               "*.jsonl"))
+                if files:
+                    with open(files[0]) as handle:
+                        lines = sum(1 for _ in handle)
+                    if lines >= 3:
+                        break
+                time.sleep(0.01)
+        finally:
+            proc.kill() if proc.poll() is None else None
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert lines >= 3, "run finished before it could be killed mid-way"
+
+        resumed = subprocess.run(
+            [sys.executable] + self.ARGS + ["--resume"], env=env,
+            capture_output=True, text=True, timeout=300)
+        assert resumed.returncode == 0, resumed.stderr
+        assert _deterministic_part(resumed.stdout) == \
+            _deterministic_part(reference.stdout)
+
+
+class TestSigpipe:
+    def test_obs_list_broken_pipe_exits_141(self):
+        # stdout is a pipe whose read end is already closed: the flush
+        # inside main() hits EPIPE and must map to the silent 141.
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "obs", "list"],
+                env=_repro_env(), stdout=write_fd,
+                stderr=subprocess.DEVNULL, timeout=60)
+        finally:
+            os.close(write_fd)
+        assert proc.returncode == 141

@@ -144,7 +144,15 @@ class TestObsCli:
 
     def test_obs_list_empty(self, capsys):
         assert main(["obs", "list"]) == 0
-        assert "no runs stored" in capsys.readouterr().out
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_obs_show_empty(self, capsys):
+        assert main(["obs", "show", "latest"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_obs_trend_empty(self, capsys):
+        assert main(["obs", "trend"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
 
     def test_obs_show(self, seeded_store, capsys):
         _, a, _ = seeded_store

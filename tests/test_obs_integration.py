@@ -122,7 +122,7 @@ class TestCliExport:
         def boom(*args, **kwargs):
             raise RuntimeError("boom")
 
-        monkeypatch.setattr("repro.cli.evaluate_network", boom)
+        monkeypatch.setattr("repro.cli.evaluate_all", boom)
         trace = tmp_path / "trace.json"
         metrics = tmp_path / "metrics.json"
         with pytest.raises(RuntimeError):

@@ -1,0 +1,155 @@
+"""Supervised parallel evaluation: heartbeats, hung-task kill, retry.
+
+The hang/OOM tests drive real worker processes through the
+``worker.hang`` / ``worker.oom`` fault sites and assert the supervisor's
+contract: a hung worker is killed within the task timeout, lost tasks
+are retried with deterministic backoff, results stay bitwise-identical
+to a clean serial run, and a task that hangs through every retry becomes
+a *failed operator* — the run terminates, it never wedges.
+"""
+
+import time
+
+import pytest
+
+from repro.eval.runner import EvaluationConfig, evaluate_network
+from repro.eval.supervisor import (
+    MIN_DERIVED_TIMEOUT_S,
+    resolve_task_timeout,
+    retry_backoff,
+)
+
+
+def _counters(result) -> dict:
+    return result.metrics.get("counters", {})
+
+
+class TestTimeoutAndBackoff:
+    def test_explicit_timeout_wins(self):
+        config = EvaluationConfig(task_timeout_s=7.5, deadline_ms=100.0)
+        assert resolve_task_timeout(config) == 7.5
+
+    def test_derived_from_deadline_with_headroom(self):
+        config = EvaluationConfig(deadline_ms=2000.0)
+        timeout = resolve_task_timeout(config)
+        # 4 variants x 2s deadline x 8x headroom.
+        assert timeout == pytest.approx(64.0)
+
+    def test_derived_timeout_floored(self):
+        config = EvaluationConfig(deadline_ms=1.0)
+        assert resolve_task_timeout(config) == MIN_DERIVED_TIMEOUT_S
+
+    def test_no_deadline_means_no_timeout(self):
+        assert resolve_task_timeout(EvaluationConfig()) is None
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        assert retry_backoff(0.1, 1) == pytest.approx(0.1)
+        assert retry_backoff(0.1, 2) == pytest.approx(0.2)
+        assert retry_backoff(0.1, 3) == pytest.approx(0.4)
+        assert retry_backoff(0.1, 0) == 0.0
+
+
+class TestHealthySupervisedRun:
+    def test_matches_serial_with_no_extra_counters(self):
+        config = EvaluationConfig(limit_per_network=2,
+                                  task_timeout_s=30.0)
+        serial = evaluate_network("LSTM", config)
+        parallel = evaluate_network("LSTM", config, jobs=2)
+        assert [op.times for op in serial.operators] == \
+               [op.times for op in parallel.operators]
+        assert all(op.attempts == 1 and not op.kill_reason
+                   for op in parallel.operators)
+        # A healthy run contributes no supervisor counters at all, so
+        # serial = parallel metric parity holds exactly.
+        assert not any(name.startswith("resilience.supervisor")
+                       for name in _counters(parallel))
+
+
+class TestHungWorkerKill:
+    TIMEOUT_S = 1.0
+
+    def test_hang_killed_within_timeout_and_retried(self, monkeypatch):
+        config = EvaluationConfig(limit_per_network=2, jobs=2,
+                                  task_timeout_s=self.TIMEOUT_S,
+                                  retries=1, retry_backoff_s=0.05)
+        clean = evaluate_network("LSTM", config)  # serial: faults inert
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "worker.hang=3600@attempt=0")
+        started = time.monotonic()
+        result = evaluate_network("LSTM", config, jobs=2)
+        elapsed = time.monotonic() - started
+        # Both operators hung once, were killed within the task timeout,
+        # and succeeded on the retry — far sooner than the 3600s sleep.
+        assert elapsed < 20 * self.TIMEOUT_S
+        assert [op.times for op in result.operators] == \
+               [op.times for op in clean.operators]
+        assert all(op.status == "ok" for op in result.operators)
+        assert all(op.attempts == 2 for op in result.operators)
+        assert all(op.kill_reason == "hung" for op in result.operators)
+        counters = _counters(result)
+        assert counters["resilience.supervisor.kills"] == 2
+        assert counters["resilience.supervisor.retries"] == 2
+        assert counters["resilience.supervisor.backoff_seconds"] == \
+            pytest.approx(0.1)
+
+    def test_persistent_hang_fails_operator_not_run(self, monkeypatch):
+        config = EvaluationConfig(limit_per_network=1, jobs=2,
+                                  task_timeout_s=self.TIMEOUT_S,
+                                  retries=1, retry_backoff_s=0.05)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "worker.hang=3600")
+        result = evaluate_network("LSTM", config, jobs=2)
+        # The run terminated (this test finishing is the point) and the
+        # exhausted task is on the record as failed, never re-run in the
+        # parent where it would hang the whole process.
+        (op,) = result.operators
+        assert op.status == "failed"
+        assert "hung 2 time(s)" in op.error
+        assert _counters(result)["resilience.supervisor.gave_up"] == 1
+
+
+class TestWorkerDeath:
+    def test_oom_killed_worker_retried(self, monkeypatch):
+        config = EvaluationConfig(limit_per_network=2, jobs=2,
+                                  retries=2, retry_backoff_s=0.05)
+        clean = evaluate_network("LSTM", config)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "worker.oom=8@attempt=0")
+        result = evaluate_network("LSTM", config, jobs=2)
+        assert [op.times for op in result.operators] == \
+               [op.times for op in clean.operators]
+        assert all(op.status == "ok" for op in result.operators)
+        assert all(op.attempts == 2 for op in result.operators)
+        assert all("worker-died(exit 137)" in op.kill_reason
+                   for op in result.operators)
+        counters = _counters(result)
+        assert counters["resilience.supervisor.worker_deaths"] == 2
+        assert counters["resilience.supervisor.respawns"] >= 1
+
+    def test_crash_every_attempt_falls_back_to_parent(self, monkeypatch):
+        # Retries exhausted by deaths -> one serial parent evaluation on
+        # a fresh pipeline (fresh SolveBudget), preserving results.
+        config = EvaluationConfig(limit_per_network=1, jobs=2,
+                                  retries=1, retry_backoff_s=0.05,
+                                  deadline_ms=10_000.0)
+        clean = evaluate_network("LSTM", config)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "worker=crash")
+        result = evaluate_network("LSTM", config, jobs=2)
+        assert [op.times for op in result.operators] == \
+               [op.times for op in clean.operators]
+        (op,) = result.operators
+        assert op.status == "ok"
+        counters = _counters(result)
+        assert counters["resilience.worker_retries"] == 1
+        assert counters["resilience.supervisor.worker_deaths"] == 2
+
+
+class TestCliDegradedExit:
+    ARGS = ["--quiet", "table2", "--networks", "LSTM", "--limit", "1",
+            "--jobs", "2", "--task-timeout", "1", "--retries", "1",
+            "--retry-backoff", "0.05", "--no-checkpoint"]
+
+    def test_supervisor_kill_degrades_run(self, monkeypatch, capsys):
+        from repro.cli import main
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "worker.hang=3600@attempt=0")
+        assert main(self.ARGS) == 1
+        capsys.readouterr()
+        assert main(self.ARGS + ["--allow-degraded"]) == 0
+        capsys.readouterr()
