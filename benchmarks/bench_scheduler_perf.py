@@ -163,3 +163,49 @@ def test_bench_pipeline_passes_and_cache(benchmark):
         summary
         + f"\n  cache entries: {stats['entries']}, "
           f"hit rate: {stats['hit_rate'] * 100:.1f}%")
+
+
+@pytest.mark.parametrize("sim", ["fast", "reference"])
+def test_bench_compile_and_measure(benchmark, sim):
+    """Full compile+measure cost with the simulator backend forced.
+
+    The two series bound the simulator's share of end-to-end pipeline
+    wall time in the BENCH_* trend; the artifact breaks each round into
+    compile vs simulate seconds so a simulator regression is attributable
+    at a glance.  With the fast backend the pass summary must also show
+    its fast-path counters (memoization working on real pipeline output,
+    not just on the micro-bench kernels)."""
+    import time
+
+    from repro.pipeline import AkgPipeline
+
+    pipeline = AkgPipeline(sample_blocks=4, sim=sim)
+    breakdown = []  # (compile_s, measure_s) per round
+
+    def run():
+        compile_s = measure_s = 0.0
+        timings = []
+        for case in CASES:
+            kernel = CASES[case]()
+            started = time.perf_counter()
+            compiled = pipeline.compile(kernel, "infl")
+            mid = time.perf_counter()
+            timings.append(pipeline.measure(compiled))
+            compile_s += mid - started
+            measure_s += time.perf_counter() - mid
+        breakdown.append((compile_s, measure_s))
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(t.time > 0 for t in timings)
+    summary = pipeline.context.format_summary()
+    if sim == "fast":
+        assert "simulator fast path" in summary
+    lines = [f"compile vs simulate wall time, sim={sim} "
+             f"({len(CASES)} kernels per round):",
+             f"  {'round':<7}{'compile ms':>12}{'simulate ms':>13}"]
+    for index, (compile_s, measure_s) in enumerate(breakdown):
+        lines.append(f"  {index:<7}{compile_s * 1e3:>12.1f}"
+                     f"{measure_s * 1e3:>13.1f}")
+    write_artifact(f"scheduler_perf_measure_{sim}.txt",
+                   "\n".join(lines) + "\n" + summary)

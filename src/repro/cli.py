@@ -41,6 +41,7 @@ from repro.eval import (
     format_table2,
 )
 from repro.eval.checkpoint import CheckpointError, EvalCheckpoint
+from repro.gpu.backend import available_simulators, resolve_simulator
 from repro.eval.tables import format_degradation_summary, geomean_speedup
 from repro.influence import build_influence_tree, build_scenarios
 from repro.ir.kparser import KernelParseError, parse_kernel_file
@@ -182,12 +183,14 @@ def _cmd_compile(args) -> int:
     options = SchedulerOptions(solver=args.solver) if args.solver else None
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
                            max_threads=args.max_threads,
-                           scheduler_options=options)
+                           scheduler_options=options,
+                           sim=args.sim)
     variants = VARIANTS if args.all_variants else (args.variant,)
     started = time.monotonic()
     record = new_record("compile", config={
         "file": args.file, "variants": ",".join(variants),
-        "solver": args.solver, "max_threads": args.max_threads,
+        "solver": args.solver, "sim": args.sim,
+        "max_threads": args.max_threads,
         "sample_blocks": args.sample_blocks})
     operator = {"name": kernel.name, "op_class": "", "times": {},
                 "launches": {}, "schedule_hashes": {}, "status": "ok",
@@ -274,6 +277,7 @@ def _cmd_table2(args) -> int:
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         verify=args.verify,
         solver=args.solver,
+        sim=args.sim,
         task_timeout_s=args.task_timeout if args.task_timeout > 0 else None,
         retries=max(args.retries, 0),
         retry_backoff_s=max(args.retry_backoff, 0.0))
@@ -287,7 +291,7 @@ def _cmd_table2(args) -> int:
     record = new_record("table2", config={
         "networks": ",".join(networks), "seed": args.seed,
         "limit": args.limit, "jobs": args.jobs, "solver": args.solver,
-        "deadline_ms": args.deadline_ms,
+        "sim": args.sim, "deadline_ms": args.deadline_ms,
         "sample_blocks": args.sample_blocks,
         "task_timeout": args.task_timeout, "retries": args.retries})
     results = []
@@ -392,7 +396,8 @@ def _cmd_profile(args) -> int:
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
                            max_threads=args.max_threads,
                            scheduler_options=options,
-                           trace=bool(args.trace))
+                           trace=bool(args.trace),
+                           sim=args.sim)
     baseline_record = None
     if args.baseline:
         try:
@@ -411,6 +416,7 @@ def _cmd_profile(args) -> int:
             "max_threads": args.max_threads,
             "deadline_ms": args.deadline_ms,
             "solver": resolve_backend(args.solver).name,
+            "sim": resolve_simulator(args.sim).name,
         }, root=_store_for(args).root)
         if args.resume is not None:
             checkpoint.use_ref(args.resume)
@@ -418,7 +424,7 @@ def _cmd_profile(args) -> int:
     started = time.monotonic()
     record = new_record("profile", config={
         "networks": network, "variant": args.variant, "seed": args.seed,
-        "limit": args.limit, "solver": args.solver,
+        "limit": args.limit, "solver": args.solver, "sim": args.sim,
         "deadline_ms": args.deadline_ms, "sample_blocks": args.sample_blocks,
         "max_threads": args.max_threads})
     profiles = []
@@ -487,6 +493,7 @@ def _cmd_profile(args) -> int:
         backend = resolve_backend(args.solver)
         print(f"profile report — {network}, variant {args.variant}, "
               f"solver {backend.name}, "
+              f"simulator {resolve_simulator(args.sim).name}, "
               f"{len(suite)} operator(s), {len(profiles)} kernel launch(es)")
         print()
         print(merged_context.format_summary())
@@ -557,7 +564,7 @@ def _cmd_explain(args) -> int:
                      args.network, list(NETWORKS))
         return 2
     seed, limit, solver = args.seed, args.limit, args.solver
-    variant = args.variant
+    variant, sim = args.variant, args.sim
     if args.run:
         try:
             stored = _store_for(args).resolve(args.run)
@@ -569,6 +576,7 @@ def _cmd_explain(args) -> int:
         limit = int(config.get("limit", limit))
         solver = config.get("solver", solver)
         variant = config.get("variant", variant)
+        sim = config.get("sim", sim)
         logger.info("explaining with the configuration of run %s",
                     stored.get("run_id"))
     options = SchedulerOptions(solver=solver) if solver else None
@@ -577,7 +585,8 @@ def _cmd_explain(args) -> int:
     pipeline = AkgPipeline(sample_blocks=args.sample_blocks,
                            max_threads=args.max_threads,
                            scheduler_options=options,
-                           enable_cache=False)
+                           enable_cache=False,
+                           sim=sim)
     suite = generate_network_suite(network, seed=seed,
                                    limit=limit if limit > 0 else None)
     names = [kernel.name for _, kernel in suite]
@@ -723,6 +732,7 @@ def _cmd_verify(args) -> int:
         limit=args.limit,
         sample_blocks=args.sample_blocks,
         max_threads=args.max_threads,
+        sim=args.sim,
         update_goldens=args.update_goldens,
         goldens_dir=args.goldens_dir or None,
         corpus_dir=args.corpus_dir or None,
@@ -771,6 +781,13 @@ def _add_solver_argument(parser: argparse.ArgumentParser) -> None:
                              "default: $REPRO_SOLVER or 'simplex')")
 
 
+def _add_sim_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sim", default="", metavar="NAME",
+                        help="simulator backend (registered: "
+                             f"{', '.join(available_simulators())}; "
+                             "default: $REPRO_SIM or 'fast')")
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default="", metavar="FILE",
                         help="write the structured trace log as JSON")
@@ -814,6 +831,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-blocks", type=int, default=8)
     p.add_argument("--max-threads", type=int, default=256)
     _add_solver_argument(p)
+    _add_sim_argument(p)
     _add_store_arguments(p)
     p.set_defaults(func=_cmd_compile)
 
@@ -865,6 +883,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-checkpoint", action="store_true",
                    help="do not append per-operator checkpoint records")
     _add_solver_argument(p)
+    _add_sim_argument(p)
     _add_obs_arguments(p)
     _add_store_arguments(p)
     p.set_defaults(func=_cmd_table2)
@@ -894,6 +913,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-checkpoint", action="store_true",
                    help="do not append per-operator checkpoint records")
     _add_solver_argument(p)
+    _add_sim_argument(p)
     _add_obs_arguments(p)
     _add_store_arguments(p)
     p.set_defaults(func=_cmd_profile)
@@ -914,6 +934,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--run", default="", metavar="RUN",
                    help="take seed/limit/solver/variant from a stored run")
     _add_solver_argument(p)
+    _add_sim_argument(p)
     _add_store_arguments(p, recording=False)
     p.set_defaults(func=_cmd_explain)
 
@@ -988,6 +1009,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-corpus", action="store_true")
     p.add_argument("--metrics", default="", metavar="FILE",
                    help="write verify.* counters as JSON")
+    _add_sim_argument(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("fuzz",
@@ -1016,6 +1038,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     configure_logging(args.verbose - args.quiet)
     try:
         resolve_backend(getattr(args, "solver", ""))  # fail fast, clean message
+        resolve_simulator(getattr(args, "sim", ""))
     except ValueError as exc:
         logger.error("error: %s", exc)
         return 2

@@ -55,6 +55,7 @@ from repro.pipeline.akg import AkgPipeline, VARIANTS
 from repro.pipeline.passes import PassContext, merge_metric_dicts
 from repro.schedule.scheduler import SchedulerOptions
 from repro.solver.budget import SolveBudget
+from repro.gpu.profile_cache import ProfileCache, use_profile_cache
 from repro.solver.dedup import SolveCache, use_solve_cache
 from repro.solver.warmstart import WarmStartPool, use_warm_pool
 from repro.workloads.generator import generate_network_suite
@@ -78,6 +79,7 @@ class EvaluationConfig:
     deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
     verify: bool = False   # run the differential oracle on every operator
     solver: str = ""       # backend name; "" = REPRO_SOLVER env / default
+    sim: str = ""          # simulator backend; "" = REPRO_SIM env / default
     # -- supervision (parallel runs only; see repro.eval.supervisor) ---------
     task_timeout_s: Optional[float] = None  # None/0 = derive from deadline_ms
     retries: int = 2       # worker-side retries per lost task
@@ -201,7 +203,8 @@ def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
                        sample_blocks=config.sample_blocks,
                        weights=config.weights,
                        scheduler_options=options,
-                       trace=config.trace)
+                       trace=config.trace,
+                       sim=config.sim)
 
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
@@ -239,8 +242,12 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     # sub-problems of the same kernel) share warm-start incumbent bounds.
     # Scoping at the operator keeps serial and parallel evaluation
     # metric-identical — either way an operator is evaluated wholly inside
-    # one process, with the scope freshly installed.
-    with use_solve_cache(SolveCache()), use_warm_pool(WarmStartPool()):
+    # one process, with the scope freshly installed.  The profile cache
+    # follows the same rule: content-identical launches across the four
+    # variants (e.g. the tvm variant's unfused clusters, degradation
+    # rungs re-lowering the baseline mapping) dedup their simulation.
+    with use_solve_cache(SolveCache()), use_warm_pool(WarmStartPool()), \
+            use_profile_cache(ProfileCache()):
         for variant in VARIANTS:
             if beat is not None:
                 beat()

@@ -17,7 +17,17 @@ are — the model ranks layouts the way the V100 ranks them (see DESIGN.md).
 """
 
 from repro.gpu.arch import GpuArch, V100
+from repro.gpu.backend import (
+    available_simulators,
+    register_simulator,
+    resolve_simulator,
+)
 from repro.gpu.memory import SectorCache, WarpAccessResult
+from repro.gpu.profile_cache import (
+    ProfileCache,
+    get_profile_cache,
+    use_profile_cache,
+)
 from repro.gpu.simulator import KernelProfile, simulate_kernel
 
 __all__ = [
@@ -27,4 +37,10 @@ __all__ = [
     "WarpAccessResult",
     "KernelProfile",
     "simulate_kernel",
+    "available_simulators",
+    "register_simulator",
+    "resolve_simulator",
+    "ProfileCache",
+    "get_profile_cache",
+    "use_profile_cache",
 ]

@@ -1,0 +1,579 @@
+"""Closed-form warp execution: the ``fast`` simulator backend.
+
+The reference interpreter (:class:`repro.gpu.simulator._Simulator`) carries
+one environment dict *per lane* and evaluates every affine address, guard
+and loop bound 32 times per warp.  But lanes of a warp only ever differ in
+the thread-index variables, and those differences are fixed per warp slot:
+lane ``l`` of the warp starting at thread ``warp_start`` sees thread
+variable ``v`` at ``shift(v) + digit(v, warp_start + l)``, where the
+mixed-radix digit is a constant of the block shape and ``shift`` is the
+(lane-invariant) mapped-loop lower bound accumulated during traversal.
+
+Every affine expression therefore splits into a *shared* part — evaluated
+once per warp against a single environment — plus a per-lane *offset
+vector* ``Σ coeff(v) · digit(v, lane)`` that depends only on the
+expression's thread coefficients and the warp slot, and is memoized across
+blocks and loop iterations.  Three consequences drive the speedup:
+
+* guards and loop bounds with zero thread coefficients (the common case)
+  are evaluated once instead of 32 times;
+* a warp memory instruction's *sector pattern relative to its base
+  sector* is a pure function of ``(offset vector, base % sector_bytes,
+  access width, active mask)`` — the warp signature — because
+  ``(base + off) // S  ==  base // S + (base % S + off) // S`` exactly.
+  Signatures are counted once and memoized (``sim.fastpath.memo_hits``);
+  for full warps with a constant positive stride the pattern is derived
+  in closed form from the stride arithmetic, with no set building or
+  sorting (``sim.fastpath.analytic``), and lane enumeration remains only
+  for masked/partial warps and irregular offset patterns;
+* replaying a memoized pattern against the (stateful, order-sensitive)
+  cache hierarchy reuses :func:`repro.gpu.memory.replay_warp_pattern`,
+  which reproduces the reference's sector-operation sequence byte for
+  byte — counters stay bitwise-identical by construction.
+
+Constructs outside this model (currently: a mapped loop whose lower bound
+has nonzero thread coefficients, or an unknown AST node) raise
+:class:`FallbackNeeded`; the backend then re-runs the *whole launch* on
+the reference interpreter, because cache state touched by a half-finished
+fast run cannot be resumed exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.codegen.ast import Guard, Loop, Seq, StatementCall
+from repro.gpu.memory import replay_warp_pattern
+from repro.gpu.simulator import _Simulator
+
+
+class FallbackNeeded(Exception):
+    """The launch uses a construct the fast interpreter does not model."""
+
+
+class _WarpPattern:
+    """A memoized per-warp sector pattern, relative to the base sector.
+
+    ``write_seq`` holds the relative sectors in the exact insertion order
+    the reference's per-lane ``set.update(range(first, last + 1))`` calls
+    produce (lane order, ascending within a lane, duplicates preserved) —
+    inserting the same value sequence rebuilds a ``set`` with identical
+    internal state, which is what reproduces raw-set iteration order on
+    writes.  ``sorted_rels`` is the deduplicated ascending form reads
+    stream directly.
+    """
+
+    __slots__ = ("write_seq", "sorted_rels", "n_sectors")
+
+    def __init__(self, write_seq, sorted_rels, n_sectors):
+        self.write_seq = write_seq
+        self.sorted_rels = sorted_rels
+        self.n_sectors = n_sectors
+
+
+_UNSET = object()
+
+
+class _FastState:
+    """Memoized pure derivations of one mapped kernel, reusable across
+    launches.
+
+    Everything here is a function of the (immutable-after-mapping) kernel
+    content, the launch geometry and the architecture's warp/sector
+    shape — never of the order-sensitive cache hierarchy — so the state
+    is attached to the ``MappedKernel`` and shared by every
+    :class:`_FastSimulator` instance simulating it: re-measurement
+    (oracle verification, degradation rungs, repeated `measure` calls)
+    skips all warm-up.
+    """
+
+    __slots__ = (
+        "digit_tables", "offset_cache", "offset_ids", "patterns",
+        "guard_plans", "guard_cache", "loop_plans", "loop_cache",
+        "mapped_plans", "mapped_cache", "call_plans",
+        "access_cache", "bound_cache", "cond_cache",
+    )
+
+    def __init__(self):
+        # warp_start -> {thread var -> per-lane mixed-radix digits}
+        self.digit_tables: dict = {}
+        # (id(compiled obj), warp_start) -> (offset vector | None, intern id)
+        self.offset_cache: dict = {}
+        self.offset_ids: dict = {}
+        # (offset id, base residue, n_bytes, active mask) -> _WarpPattern
+        self.patterns: dict = {}
+        # Guard/loop results are pure functions of (node, warp slot, env
+        # values of the node's non-parameter dependency variables) — deep
+        # sequential loops re-testing the same thread-only guard or
+        # re-deriving the same inner-loop bounds collapse to one dict
+        # probe per iteration, with no expression evaluation at all.
+        self.guard_plans: dict = {}   # id(guard) -> (conditions, deps)
+        self.guard_cache: dict = {}   # (id, warp, dep values) -> pass mask
+        self.loop_plans: dict = {}    # id(loop) -> (lowers, uppers, deps)
+        self.loop_cache: dict = {}    # (id, warp, dep values) -> bounds
+        self.mapped_plans: dict = {}  # id(loop) -> (lowers, deps)
+        self.mapped_cache: dict = {}  # (id, dep values) -> lower shift
+        # (id(call), warp_start) -> tuple of (access, offsets, offset id):
+        # the per-access offset vectors a statement issue needs.
+        self.call_plans: dict = {}
+        # The reference's compile caches (`_CompiledAccess`/`_CompiledExpr`
+        # are pure too, and tensor bases are deterministic per mapping).
+        self.access_cache: dict = {}
+        self.bound_cache: dict = {}
+        self.cond_cache: dict = {}
+
+
+def _fast_state(mapped, arch) -> _FastState:
+    """The shared memo state of ``mapped`` for ``arch``'s warp/sector
+    shape (different shapes key different states)."""
+    states = getattr(mapped, "_fastpath_states", None)
+    if states is None:
+        states = mapped._fastpath_states = {}
+    key = (arch.warp_size, arch.sector_bytes)
+    state = states.get(key)
+    if state is None:
+        state = states[key] = _FastState()
+    return state
+
+
+class _FastSimulator(_Simulator):
+    """Shared-environment warp interpreter with signature memoization.
+
+    Reuses the reference's compilation caches, counters, memory hierarchy
+    and compulsory-traffic floor; only the execution strategy differs.
+    """
+
+    def __init__(self, mapped, arch, sampled_blocks: int = 1):
+        super().__init__(mapped, arch, sampled_blocks=sampled_blocks)
+        self._thread_vars = frozenset(d.loop_var for d in mapped.block)
+        self._sector = self.memory.sector_bytes
+        state = _fast_state(mapped, arch)
+        self._state = state
+        self._digit_tables = state.digit_tables
+        self._offset_cache = state.offset_cache
+        self._offset_ids = state.offset_ids
+        self._patterns = state.patterns
+        self._guard_plans = state.guard_plans
+        self._guard_cache = state.guard_cache
+        self._loop_plans = state.loop_plans
+        self._loop_cache = state.loop_cache
+        self._mapped_plans = state.mapped_plans
+        self._mapped_cache = state.mapped_cache
+        self._call_plans = state.call_plans
+        # Share the compile caches too (pure, id-keyed off live AST nodes).
+        self.access_cache = state.access_cache
+        self.bound_cache = state.bound_cache
+        self.cond_cache = state.cond_cache
+        # Per-warp state installed by run_block.
+        self._env: dict = {}
+        self._digits: dict = {}
+        self._warp_start = 0
+        self._n_lanes = 0
+        # Fast-path statistics (harvested by the backend into obs metrics).
+        self.analytic_builds = 0
+        self.memo_hits = 0
+
+    # -- per-warp setup ------------------------------------------------------
+
+    def _digits_for(self, warp_start: int, n_lanes: int) -> dict:
+        table = self._digit_tables.get(warp_start)
+        if table is None:
+            per_var: list[list[int]] = [[] for _ in self.mapped.block]
+            for lane in range(warp_start, warp_start + n_lanes):
+                remaining = lane
+                # First block dim is threadIdx.x (fastest varying).
+                for index, dim in enumerate(self.mapped.block):
+                    per_var[index].append(remaining % dim.extent)
+                    remaining //= dim.extent
+            table = {dim.loop_var: tuple(per_var[index])
+                     for index, dim in enumerate(self.mapped.block)}
+            self._digit_tables[warp_start] = table
+        return table
+
+    def _offsets_of(self, obj):
+        """``(offset vector | None, intern id)`` of one compiled access or
+        expression for the current warp slot.  ``None`` marks a
+        lane-invariant object (no thread coefficients)."""
+        key = (id(obj), self._warp_start)
+        got = self._offset_cache.get(key, _UNSET)
+        if got is not _UNSET:
+            return got
+        digits = self._digits
+        thread_vars = self._thread_vars
+        terms = [(digits[name], coeff) for name, coeff in obj.terms
+                 if name in thread_vars]
+        if not terms:
+            got = (None, -1)
+        else:
+            if len(terms) == 1:
+                lane_digits, coeff = terms[0]
+                off = tuple(coeff * d for d in lane_digits)
+            else:
+                acc = [0] * self._n_lanes
+                for lane_digits, coeff in terms:
+                    for lane, digit in enumerate(lane_digits):
+                        acc[lane] += coeff * digit
+                off = tuple(acc)
+            got = (off, self._offset_ids.setdefault(off, len(self._offset_ids)))
+        self._offset_cache[key] = got
+        return got
+
+    # -- execution -----------------------------------------------------------
+
+    def run_block(self, block_env: dict) -> None:
+        threads = self.mapped.n_threads_per_block
+        warp = self.arch.warp_size
+        for warp_start in range(0, threads, warp):
+            n_lanes = min(warp_start + warp, threads) - warp_start
+            self._warp_start = warp_start
+            self._n_lanes = n_lanes
+            self._digits = self._digits_for(warp_start, n_lanes)
+            env = dict(self.params)
+            env.update(block_env)
+            for dim in self.mapped.block:
+                # Thread variables carry only their lane-invariant shift
+                # (mapped-loop lower bounds); the raw digit lives in the
+                # per-warp offset vectors.
+                env[dim.loop_var] = 0
+            self._env = env
+            self._frun(self.mapped.ast, (1 << n_lanes) - 1)
+
+    def _frun(self, node, mask: int) -> None:
+        if isinstance(node, Guard):
+            mask = self._guard_mask(node, mask)
+            if mask:
+                self._frun(node.body, mask)
+        elif isinstance(node, StatementCall):
+            self._fissue_scalar(node, mask)
+        elif isinstance(node, Loop):
+            if node.mapping:
+                self._frun_mapped(node, mask)
+            elif node.vector:
+                self._frun_vector(node, mask)
+            else:
+                self._frun_loop(node, mask)
+        elif isinstance(node, Seq):
+            for child in node.children:
+                self._frun(child, mask)
+        else:
+            raise FallbackNeeded(f"unknown AST node {node!r}")
+
+    def _expr_deps(self, exprs) -> tuple:
+        """Names whose env values a set of expressions depends on, params
+        excluded (they are launch constants).  Thread variables stay in:
+        their env entries hold the lane-invariant mapped-loop shifts."""
+        deps: list[str] = []
+        params = self.params
+        for expr in exprs:
+            for name, _ in expr.terms:
+                if name not in params and name not in deps:
+                    deps.append(name)
+        return tuple(deps)
+
+    def _guard_mask(self, guard: Guard, mask: int) -> int:
+        """Lanes of ``mask`` passing every condition of ``guard``.
+
+        Conditions are pure, so the all-lanes pass mask is a function of
+        the guard, the warp slot and the env values of the conditions'
+        dependency variables only — memoized on exactly that key (a few
+        dict lookups, no expression evaluation on a hit), then applied to
+        the caller's mask with one AND.  This is equivalent to the
+        reference's per-lane short-circuit evaluation because evaluation
+        has no side effects.
+        """
+        env = self._env
+        plan = self._guard_plans.get(id(guard))
+        if plan is None:
+            conditions = self._compiled_conditions(guard)
+            plan = (conditions,
+                    self._expr_deps([expr for _, expr in conditions]))
+            self._guard_plans[id(guard)] = plan
+        conditions, deps = plan
+        key = (id(guard), self._warp_start,
+               tuple(env[name] for name in deps))
+        pass_mask = self._guard_cache.get(key)
+        if pass_mask is None:
+            pass_mask = (1 << self._n_lanes) - 1
+            for sense, expr in conditions:
+                value = expr.value(env)
+                off, _ = self._offsets_of(expr)
+                if off is None:
+                    ok = (value <= 0 if sense == "<="
+                          else value >= 0 if sense == ">=" else value == 0)
+                    if not ok:
+                        pass_mask = 0
+                        break
+                else:
+                    new_mask = 0
+                    if sense == "<=":
+                        for lane in range(self._n_lanes):
+                            if pass_mask >> lane & 1 and value + off[lane] <= 0:
+                                new_mask |= 1 << lane
+                    elif sense == ">=":
+                        for lane in range(self._n_lanes):
+                            if pass_mask >> lane & 1 and value + off[lane] >= 0:
+                                new_mask |= 1 << lane
+                    else:
+                        for lane in range(self._n_lanes):
+                            if pass_mask >> lane & 1 and value + off[lane] == 0:
+                                new_mask |= 1 << lane
+                    pass_mask = new_mask
+                    if not pass_mask:
+                        break
+            self._guard_cache[key] = pass_mask
+        return mask & pass_mask
+
+    def _frun_mapped(self, loop: Loop, mask: int) -> None:
+        env = self._env
+        plan = self._mapped_plans.get(id(loop))
+        if plan is None:
+            lower_exprs, _ = self._compiled_bounds(loop)
+            for expr in lower_exprs:
+                # Lane-invariance is a property of the expression's thread
+                # coefficients, not of the particular warp slot.
+                if self._offsets_of(expr)[0] is not None:
+                    raise FallbackNeeded(
+                        f"lane-variant lower bound on mapped loop "
+                        f"{loop.var!r}")
+            plan = (lower_exprs, self._expr_deps(lower_exprs))
+            self._mapped_plans[id(loop)] = plan
+        lower_exprs, deps = plan
+        # The shift is lane-invariant, hence identical across warp slots.
+        key = (id(loop), tuple(env[name] for name in deps))
+        lo = self._mapped_cache.get(key, _UNSET)
+        if lo is _UNSET:
+            if len(lower_exprs) == 1:
+                lo = lower_exprs[0].value(env)
+            else:
+                pick = min if loop.lower_is_min else max
+                lo = pick(e.value(env) for e in lower_exprs)
+            if type(lo) is not int:
+                lo = math.ceil(lo)
+            self._mapped_cache[key] = lo
+        if lo:
+            env[loop.var] += lo
+        self._frun(loop.body, mask)
+
+    def _frun_loop(self, loop: Loop, mask: int) -> None:
+        env = self._env
+        plan = self._loop_plans.get(id(loop))
+        if plan is None:
+            lower_exprs, upper_exprs = self._compiled_bounds(loop)
+            plan = (lower_exprs, upper_exprs,
+                    self._expr_deps(lower_exprs + upper_exprs))
+            self._loop_plans[id(loop)] = plan
+        lower_exprs, upper_exprs, deps = plan
+        key = (id(loop), self._warp_start,
+               tuple(env[name] for name in deps))
+        bounds = self._loop_cache.get(key)
+        if bounds is None:
+            bounds = self._loop_bounds(loop, lower_exprs, upper_exprs)
+            self._loop_cache[key] = bounds
+        lo, hi, lane_masks = bounds
+        if lo > hi:
+            # Empty range: the reference returns before touching the loop
+            # variable, so leave the env untouched too.
+            return
+        var = loop.var
+        body = loop.body
+        if lane_masks is None:
+            # Lane-invariant bounds: every value runs with the caller's
+            # mask unchanged.
+            for value in range(lo, hi + 1):
+                env[var] = value
+                self._frun(body, mask)
+        else:
+            # Lane-variant bounds: ``lane_masks[value - lo]`` holds the
+            # all-lanes in-range mask for ``value``; the per-iteration
+            # sub-mask is one AND.  Iterating the all-lanes range instead
+            # of the reference's masked-lanes range executes exactly the
+            # same non-empty iterations (extra values AND to zero).
+            for value in range(lo, hi + 1):
+                sub_mask = mask & lane_masks[value - lo]
+                if sub_mask:
+                    env[var] = value
+                    self._frun(body, sub_mask)
+        env.pop(var, None)
+
+    def _loop_bounds(self, loop: Loop, lower_exprs, upper_exprs):
+        """``(lo, hi, lane_masks)`` for the current warp slot and env:
+        the overall trip range plus, for lane-variant bounds, the
+        per-value all-lanes in-range masks (``None`` when invariant)."""
+        env = self._env
+        lo_pick = min if loop.lower_is_min else max
+        hi_pick = max if loop.upper_is_max else min
+        lo_shared = [e.value(env) for e in lower_exprs]
+        hi_shared = [e.value(env) for e in upper_exprs]
+        lo_offs = [self._offsets_of(e)[0] for e in lower_exprs]
+        hi_offs = [self._offsets_of(e)[0] for e in upper_exprs]
+        if all(o is None for o in lo_offs) and all(o is None for o in hi_offs):
+            lo = lo_shared[0] if len(lo_shared) == 1 else lo_pick(lo_shared)
+            hi = hi_shared[0] if len(hi_shared) == 1 else hi_pick(hi_shared)
+            if type(lo) is not int:
+                lo = math.ceil(lo)
+            if type(hi) is not int:
+                hi = math.floor(hi)
+            return (lo, hi, None)
+        n_lanes = self._n_lanes
+        los, his = [], []
+        for lane in range(n_lanes):
+            lo = lo_pick(s if o is None else s + o[lane]
+                         for s, o in zip(lo_shared, lo_offs))
+            hi = hi_pick(s if o is None else s + o[lane]
+                         for s, o in zip(hi_shared, hi_offs))
+            los.append(lo if type(lo) is int else math.ceil(lo))
+            his.append(hi if type(hi) is int else math.floor(hi))
+        overall_lo = min(los)
+        overall_hi = max(his)
+        if overall_lo > overall_hi:
+            return (overall_lo, overall_hi, None)
+        lane_masks = []
+        for value in range(overall_lo, overall_hi + 1):
+            bits = 0
+            for lane in range(n_lanes):
+                if los[lane] <= value <= his[lane]:
+                    bits |= 1 << lane
+            lane_masks.append(bits)
+        return (overall_lo, overall_hi, lane_masks)
+
+    def _frun_vector(self, loop: Loop, mask: int) -> None:
+        width = loop.vector_width
+        var = loop.var
+        env = self._env
+        for child in loop.body.children:
+            if isinstance(child, StatementCall) and child.vector_width == width:
+                env[var] = 0
+                self._fissue_vector(child, mask, var, width)
+            else:
+                for lane_value in range(width):
+                    env[var] = lane_value
+                    self._frun(child, mask)
+        env.pop(var, None)
+
+    # -- issue ---------------------------------------------------------------
+
+    def _call_plan(self, call: StatementCall):
+        key = (id(call), self._warp_start)
+        plan = self._call_plans.get(key)
+        if plan is None:
+            plan = tuple((access,) + self._offsets_of(access)
+                         for access in self._compiled_accesses(call))
+            self._call_plans[key] = plan
+        return plan
+
+    def _fissue_scalar(self, call: StatementCall, mask: int) -> None:
+        if not mask:
+            return
+        n_active = mask.bit_count()
+        self.scalar_issues += 1
+        env = self._env
+        for access, off, off_id in self._call_plan(call):
+            self._fast_count(access, off, off_id, access.address(env),
+                             access.elem_bytes, mask, n_active)
+        flops = call.statement.flops
+        self.arith_instrs += flops
+        self.issue_cycles += flops * self.arch.arith_instr_cycles
+        self.flops += flops * n_active
+
+    def _fissue_vector(self, call: StatementCall, mask: int,
+                       var: str, width: int) -> None:
+        if not mask:
+            return
+        n_active = mask.bit_count()
+        self.vector_issues += 1
+        env = self._env
+        for access, off, off_id in self._call_plan(call):
+            stride = access.strides.get(var, 0)
+            base = access.address(env)
+            elem = access.elem_bytes
+            if stride == elem:
+                # Contiguous along the vector dim: one vector access/lane.
+                self._fast_count(access, off, off_id, base, elem * width,
+                                 mask, n_active)
+            elif stride == 0:
+                # Invariant: a single scalar access serves all lanes' groups.
+                self._fast_count(access, off, off_id, base, elem, mask,
+                                 n_active)
+            else:
+                # Gather/scatter: one instruction per lane position.
+                for offset in range(width):
+                    self._fast_count(access, off, off_id,
+                                     base + stride * offset, elem, mask,
+                                     n_active)
+        # Computation stays scalar: `width` iterations of flops.
+        flops = call.statement.flops
+        self.arith_instrs += flops * width
+        self.issue_cycles += flops * width * self.arch.arith_instr_cycles
+        self.flops += flops * width * n_active
+
+    def _fast_count(self, access, off, off_id: int, base: int, n_bytes: int,
+                    mask: int, n_active: int) -> None:
+        if n_bytes <= 0:
+            raise FallbackNeeded("non-positive access width")
+        sector = self._sector
+        key = (off_id, base % sector, n_bytes, mask)
+        pattern = self._patterns.get(key)
+        if pattern is None:
+            pattern = self._build_pattern(off, base % sector, n_bytes, mask)
+            self._patterns[key] = pattern
+        else:
+            self.memo_hits += 1
+        replay_warp_pattern(self.memory, base // sector,
+                            pattern.write_seq, pattern.sorted_rels,
+                            access.is_write)
+        self.mem_instrs += 1
+        replay = -(-pattern.n_sectors // self.arch.sectors_per_cycle)
+        cycles = self.arch.mem_instr_cycles
+        self.issue_cycles += replay if replay > cycles else cycles
+        self.sectors += pattern.n_sectors
+        self.bytes_req += n_bytes * n_active
+
+    def _build_pattern(self, off, res: int, n_bytes: int,
+                       mask: int) -> _WarpPattern:
+        sector = self._sector
+        if off is None:
+            # Lane-invariant address: every active lane touches the same
+            # range; re-inserting identical sectors leaves the reference's
+            # set untouched, so one ascending pass reproduces its state
+            # exactly.
+            last = (res + n_bytes - 1) // sector
+            rels = tuple(range(last + 1))
+            return _WarpPattern(rels, rels, last + 1)
+        n_lanes = self._n_lanes
+        if mask == (1 << n_lanes) - 1 and n_lanes > 1:
+            step = off[1] - off[0]
+            if step > 0 and all(off[lane + 1] - off[lane] == step
+                                for lane in range(1, n_lanes - 1)):
+                # Closed form: a full warp with a constant positive stride
+                # touches monotonically non-decreasing sector ranges, so
+                # the merged ascending pattern falls out of the stride
+                # arithmetic in one pass — no set, no sort.
+                self.analytic_builds += 1
+                write_seq = []
+                sorted_rels = []
+                prev_last = None
+                position = res + off[0]
+                for _ in range(n_lanes):
+                    first = position // sector
+                    last = (position + n_bytes - 1) // sector
+                    write_seq.extend(range(first, last + 1))
+                    start = (first if prev_last is None
+                             else max(first, prev_last + 1))
+                    if start <= last:
+                        sorted_rels.extend(range(start, last + 1))
+                        prev_last = last
+                    position += step
+                return _WarpPattern(tuple(write_seq), tuple(sorted_rels),
+                                    len(sorted_rels))
+        # Lane enumeration: masked/partial warps and irregular offsets.
+        write_seq = []
+        rels: set[int] = set()
+        for lane in range(n_lanes):
+            if mask >> lane & 1:
+                position = res + off[lane]
+                first = position // sector
+                last = (position + n_bytes - 1) // sector
+                write_seq.extend(range(first, last + 1))
+                rels.update(range(first, last + 1))
+        return _WarpPattern(tuple(write_seq), tuple(sorted(rels)),
+                            len(rels))

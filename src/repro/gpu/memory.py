@@ -177,3 +177,91 @@ def warp_access(memory: MemoryHierarchy,
         for sector in sorted(sectors):
             memory.load_sector(sector)
     return WarpAccessResult(len(sectors), requested)
+
+
+def replay_warp_pattern(memory: MemoryHierarchy, base_sector: int,
+                        write_sequence: Iterable[int],
+                        sorted_sectors: Iterable[int],
+                        is_write: bool) -> None:
+    """Drive the hierarchy with a memoized warp sector pattern, exactly as
+    :func:`warp_access` would for the equivalent lane ranges.
+
+    The fast interpreter (:mod:`repro.gpu.fastpath`) memoizes per-warp
+    sector patterns *relative to the base sector* and replays them here.
+    The replay must reproduce :func:`warp_access`'s sector-operation
+    sequence byte for byte, because the LRU caches are order-sensitive:
+
+    * **writes** iterate the raw Python ``set`` above, whose iteration
+      order depends on the inserted values *and* the insertion sequence —
+      so the replay rebuilds an equivalent set by inserting the identical
+      value sequence (``write_sequence`` holds the relative sectors in the
+      order the per-lane ``update(range(first, last + 1))`` calls insert
+      them: lane order, ascending within a lane, duplicates preserved —
+      duplicate inserts are no-ops in both constructions);
+    * **reads** iterate ``sorted(sectors)``, which is value-deterministic,
+      so the replay streams the memoized ``sorted_sectors`` (relative,
+      deduplicated, ascending) directly without building a set at all.
+    """
+    l1 = memory.l1
+    l2 = memory.l2
+    l1_sectors = l1._sectors
+    l2_sectors = l2._sectors
+    l1_cap = l1.capacity_sectors
+    l2_cap = l2.capacity_sectors
+    if is_write:
+        sectors = set([base_sector + rel for rel in write_sequence])
+        # Inlined store_sector -> l1.store -> _l2_store chain: the same
+        # OrderedDict mutations and counter updates in the same order,
+        # without per-sector call frames (`store` keeps no hit counters).
+        for sector in sectors:
+            if sector in l1_sectors:
+                l1_sectors[sector] = True
+                l1_sectors.move_to_end(sector)
+                continue
+            l1_sectors[sector] = True
+            if len(l1_sectors) > l1_cap:
+                victim, was_dirty = l1_sectors.popitem(last=False)
+                if was_dirty:
+                    if victim in l2_sectors:
+                        l2_sectors[victim] = True
+                        l2_sectors.move_to_end(victim)
+                    else:
+                        l2_sectors[victim] = True
+                        if len(l2_sectors) > l2_cap:
+                            l2_victim, l2_dirty = l2_sectors.popitem(last=False)
+                            if l2_dirty:
+                                memory.dram_writes += 1
+    else:
+        # Inlined load_sector: L1 probe/insert/evict, dirty spill to L2,
+        # then the L2 probe — the exact sequence of the method chain.
+        for rel in sorted_sectors:
+            sector = base_sector + rel
+            if sector in l1_sectors:
+                l1_sectors.move_to_end(sector)
+                l1.hits += 1
+                continue
+            l1.misses += 1
+            l1_sectors[sector] = False
+            if len(l1_sectors) > l1_cap:
+                victim, was_dirty = l1_sectors.popitem(last=False)
+                if was_dirty:
+                    if victim in l2_sectors:
+                        l2_sectors[victim] = True
+                        l2_sectors.move_to_end(victim)
+                    else:
+                        l2_sectors[victim] = True
+                        if len(l2_sectors) > l2_cap:
+                            l2_victim, l2_dirty = l2_sectors.popitem(last=False)
+                            if l2_dirty:
+                                memory.dram_writes += 1
+            if sector in l2_sectors:
+                l2_sectors.move_to_end(sector)
+                l2.hits += 1
+            else:
+                l2.misses += 1
+                l2_sectors[sector] = False
+                if len(l2_sectors) > l2_cap:
+                    l2_victim, l2_dirty = l2_sectors.popitem(last=False)
+                    if l2_dirty:
+                        memory.dram_writes += 1
+                memory.dram_reads += 1

@@ -16,14 +16,20 @@ into a time estimate:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Optional
 
 from repro.codegen.ast import Guard, Loop, Seq, StatementCall, statements_in
 from repro.codegen.cuda import MappedKernel
 from repro.gpu.arch import GpuArch, V100
+from repro.gpu.backend import resolve_simulator
 from repro.gpu.memory import MemoryHierarchy, warp_access
+from repro.gpu.profile_cache import (
+    get_profile_cache,
+    is_miss,
+    profile_cache_key,
+)
 from repro.obs.metrics import RATIO_BUCKETS
 from repro.obs.runtime import get_obs
 from repro.solver.problem import Constraint, LinExpr
@@ -103,7 +109,8 @@ class KernelProfile:
 class _CompiledAccess:
     """An access lowered to an integer-affine address function."""
 
-    __slots__ = ("is_write", "elem_bytes", "terms", "const", "flops")
+    __slots__ = ("is_write", "elem_bytes", "terms", "const", "strides",
+                 "flops")
 
     def __init__(self, is_write: bool, elem_bytes: int,
                  terms: list[tuple[str, int]], const: int):
@@ -111,6 +118,10 @@ class _CompiledAccess:
         self.elem_bytes = elem_bytes
         self.terms = terms
         self.const = const
+        # Address coefficients by variable: `stride_of` is on the vector
+        # issue path (three lookups per vectorized access), so it must be
+        # a dict probe, not a scan of `terms`.
+        self.strides = dict(terms)
 
     def address(self, env: dict[str, int]) -> int:
         total = self.const
@@ -119,27 +130,38 @@ class _CompiledAccess:
         return total
 
     def stride_of(self, name: str) -> int:
-        for term, coeff in self.terms:
-            if term == name:
-                return coeff
-        return 0
+        return self.strides.get(name, 0)
 
 
 class _CompiledExpr:
-    """A LinExpr lowered for fast integer evaluation (rational-safe)."""
+    """A LinExpr lowered for fast integer evaluation (rational-safe).
 
-    __slots__ = ("terms", "const")
+    Coefficients with denominator 1 are narrowed to ``int`` and split from
+    the (rare) genuinely rational ones, so the common all-integral bound
+    and guard expressions evaluate with pure machine-int arithmetic — no
+    ``Fraction`` dispatch on the hot path.  ``is_integral`` lets callers
+    skip ``ceil``/``floor`` entirely for such expressions.  Evaluation
+    order (integer terms first, then rational ones) cannot change any
+    value: the arithmetic is exact, so the sum is order-independent.
+    """
+
+    __slots__ = ("terms", "int_terms", "frac_terms", "const", "is_integral")
 
     def __init__(self, expr: LinExpr):
         def narrow(value: Fraction):
             return int(value) if value.denominator == 1 else value
         self.terms = [(name, narrow(coeff))
                       for name, coeff in expr.coeffs.items()]
+        self.int_terms = [(n, c) for n, c in self.terms if type(c) is int]
+        self.frac_terms = [(n, c) for n, c in self.terms if type(c) is not int]
         self.const = narrow(expr.const)
+        self.is_integral = not self.frac_terms and type(self.const) is int
 
     def value(self, env: dict[str, int]) -> Fraction:
         total = self.const
-        for name, coeff in self.terms:
+        for name, coeff in self.int_terms:
+            total += coeff * env[name]
+        for name, coeff in self.frac_terms:
             total += coeff * env[name]
         return total
 
@@ -182,7 +204,14 @@ class _Simulator:
         cache until the final write-back).  Guards the block-sampling
         extrapolation against undercounting when the sampled window happens
         to sit entirely inside one cache-resident tile.  Assumes accesses
-        cover their tensors (true for the operator zoo)."""
+        cover their tensors (true for the operator zoo).
+
+        The result is a pure function of the (immutable-after-mapping) AST,
+        so it is memoized on the mapped kernel: every launch of the same
+        mapping — one per simulate call — used to re-walk the whole AST."""
+        cached = getattr(self.mapped, "_compulsory_bytes", None)
+        if cached is not None:
+            return cached
         read_tensors: set[str] = set()
         written_tensors: set[str] = set()
         sizes: dict[str, int] = {}
@@ -194,8 +223,10 @@ class _Simulator:
                 else:
                     read_tensors.add(access.tensor.name)
         pure_inputs = read_tensors - written_tensors
-        return (sum(sizes[t] for t in pure_inputs)
-                + sum(sizes[t] for t in written_tensors))
+        total = (sum(sizes[t] for t in pure_inputs)
+                 + sum(sizes[t] for t in written_tensors))
+        self.mapped._compulsory_bytes = total
+        return total
 
     def reset_counters(self) -> None:
         """Zero the extrapolated counters (cache contents are kept): used
@@ -451,55 +482,91 @@ def _sample_block_ids(n_blocks: int, sample: int) -> tuple[list[int], int]:
     return list(range(start, start + take)), 1
 
 
+def _execute_kernel(mapped: MappedKernel, arch: GpuArch, sample_blocks: int,
+                    sim_cls: type) -> tuple[KernelProfile, _Simulator]:
+    """Run the block-sampling driver with ``sim_cls`` as the interpreter.
+
+    Both backends share this loop — sampling, warmup exclusion, cache
+    lifecycle, extrapolation and the compulsory-traffic floor are
+    backend-independent; only warp execution differs.  Returns the profile
+    together with the simulator instance so backends can harvest their
+    private counters (e.g. the fast path's memoization statistics).
+    """
+    n_blocks = mapped.n_blocks
+    block_ids, warmup = _sample_block_ids(n_blocks, sample_blocks)
+    sim = sim_cls(mapped, arch, sampled_blocks=max(1, len(block_ids)))
+    for index, block_id in enumerate(block_ids):
+        env: dict[str, int] = {}
+        remaining = block_id
+        for dim in mapped.grid:
+            env[dim.loop_var] = remaining % dim.extent
+            remaining //= dim.extent
+        sim.run_block(env)
+        sim.memory.end_block()
+        sim.cache_hits += sim.memory.l1.hits + sim.memory.l2.hits
+        sim.cache_misses += sim.memory.l1.misses + sim.memory.l2.misses
+        sim.memory.l1.clear_stats()
+        sim.memory.l2.clear_stats()
+        if index + 1 == warmup:
+            sim.reset_counters()
+    sim.memory.end_kernel()
+    sim.transactions = sim.memory.dram_transactions
+    scale = n_blocks / max(1, len(block_ids) - warmup)
+    floor_transactions = sim.compulsory_bytes() / arch.sector_bytes / scale
+    profile = KernelProfile(
+        name=mapped.kernel.name,
+        arch=arch,
+        n_blocks=n_blocks,
+        n_threads_per_block=mapped.n_threads_per_block,
+        warp_mem_instructions=sim.mem_instrs * scale,
+        warp_arith_instructions=sim.arith_instrs * scale,
+        issue_cycles=sim.issue_cycles * scale,
+        dram_transactions=max(sim.transactions, floor_transactions) * scale,
+        sectors_touched=sim.sectors * scale,
+        bytes_requested=sim.bytes_req * scale,
+        flops=sim.flops * scale,
+        cache_hits=sim.cache_hits * scale,
+        cache_misses=sim.cache_misses * scale,
+        scalar_issues=sim.scalar_issues * scale,
+        vector_issues=sim.vector_issues * scale,
+    )
+    return profile, sim
+
+
 def simulate_kernel(mapped: MappedKernel, arch: GpuArch = V100,
-                    sample_blocks: int = 4) -> KernelProfile:
+                    sample_blocks: int = 4, sim: str = "") -> KernelProfile:
     """Simulate a mapped kernel and estimate its execution time.
+
+    ``sim`` selects the simulator backend (explicit name, else the
+    ``REPRO_SIM`` environment variable, else the ``fast`` default — see
+    :mod:`repro.gpu.backend`); every backend produces bitwise-identical
+    counters.  When an ambient :class:`~repro.gpu.profile_cache.ProfileCache`
+    is installed, content-identical launches replay the cached profile
+    instead of re-simulating (``sim.profile_cache.{hits,misses}``).
 
     Each run is wrapped in a ``gpu.kernel`` span carrying the full profile
     counter set, and the profile feeds the ambient ``gpu.*`` histograms
     (all derived from the deterministic model, so serial and parallel
     evaluations produce identical metric payloads).
     """
+    backend = resolve_simulator(sim)
     obs = get_obs()
+    cache = get_profile_cache()
+    key = None
+    profile: Optional[KernelProfile] = None
+    if cache is not None:
+        key = profile_cache_key(mapped, arch, sample_blocks)
+        found = cache.lookup(key)
+        if not is_miss(found):
+            # Names are erased from the key; restore the caller's (the
+            # `replace` also guarantees the cached entry is never aliased).
+            profile = replace(found, name=mapped.kernel.name)
+    cached = profile is not None
     with obs.span("gpu.kernel", kernel=mapped.kernel.name) as span:
-        n_blocks = mapped.n_blocks
-        block_ids, warmup = _sample_block_ids(n_blocks, sample_blocks)
-        sim = _Simulator(mapped, arch, sampled_blocks=max(1, len(block_ids)))
-        for index, block_id in enumerate(block_ids):
-            env: dict[str, int] = {}
-            remaining = block_id
-            for dim in mapped.grid:
-                env[dim.loop_var] = remaining % dim.extent
-                remaining //= dim.extent
-            sim.run_block(env)
-            sim.memory.end_block()
-            sim.cache_hits += sim.memory.l1.hits + sim.memory.l2.hits
-            sim.cache_misses += sim.memory.l1.misses + sim.memory.l2.misses
-            sim.memory.l1.clear_stats()
-            sim.memory.l2.clear_stats()
-            if index + 1 == warmup:
-                sim.reset_counters()
-        sim.memory.end_kernel()
-        sim.transactions = sim.memory.dram_transactions
-        scale = n_blocks / max(1, len(block_ids) - warmup)
-        floor_transactions = sim.compulsory_bytes() / arch.sector_bytes / scale
-        profile = KernelProfile(
-            name=mapped.kernel.name,
-            arch=arch,
-            n_blocks=n_blocks,
-            n_threads_per_block=mapped.n_threads_per_block,
-            warp_mem_instructions=sim.mem_instrs * scale,
-            warp_arith_instructions=sim.arith_instrs * scale,
-            issue_cycles=sim.issue_cycles * scale,
-            dram_transactions=max(sim.transactions, floor_transactions) * scale,
-            sectors_touched=sim.sectors * scale,
-            bytes_requested=sim.bytes_req * scale,
-            flops=sim.flops * scale,
-            cache_hits=sim.cache_hits * scale,
-            cache_misses=sim.cache_misses * scale,
-            scalar_issues=sim.scalar_issues * scale,
-            vector_issues=sim.vector_issues * scale,
-        )
+        if profile is None:
+            profile = backend.run(mapped, arch, sample_blocks)
+            if cache is not None:
+                cache.store(key, profile)
         span.set(**profile.counters())
     metrics = obs.metrics
     if metrics.enabled:
@@ -511,4 +578,7 @@ def simulate_kernel(mapped: MappedKernel, arch: GpuArch = V100,
         metrics.observe("gpu.kernel_seconds", profile.time)
         metrics.observe("gpu.coalescing_efficiency",
                         profile.coalescing_efficiency, bounds=RATIO_BUCKETS)
+        if cache is not None:
+            metrics.count("sim.profile_cache.hits" if cached
+                          else "sim.profile_cache.misses")
     return profile

@@ -117,11 +117,28 @@ def _vector_width_for(accesses: Sequence[Access], extent: int) -> int:
     return 0
 
 
+def stride_table(accesses: Sequence[Access],
+                 iterators: Sequence[str]) -> dict[str, list]:
+    """Per-iterator ``(access, stride)`` pairs, computed once per statement.
+
+    Algorithm 2 re-ranks the same candidate set at every dimension position
+    of every alternative, and each ranking re-derived every stride from the
+    access's affine expression.  The strides only depend on the statement,
+    so one table serves all of them."""
+    return {it: [(a, a.stride_along(it)) for a in accesses]
+            for it in iterators}
+
+
 def dimension_cost(weights: CostWeights, accesses: Sequence[Access],
                    thread_limit: float, trip_count: int,
-                   iterator: str, innermost: bool) -> float:
+                   iterator: str, innermost: bool,
+                   strides_by_iterator: Optional[dict[str, list]] = None
+                   ) -> float:
     """The paper's cost() for scheduling ``iterator`` at one position."""
-    strides = [(a, a.stride_along(iterator)) for a in accesses]
+    if strides_by_iterator is not None:
+        strides = strides_by_iterator[iterator]
+    else:
+        strides = [(a, a.stride_along(iterator)) for a in accesses]
     score = 0.0
     if innermost:
         v_w = [a for a, s in strides if a.is_write and s == 1]
@@ -154,13 +171,16 @@ def dimension_cost(weights: CostWeights, accesses: Sequence[Access],
 def _best(weights: CostWeights, candidates: Sequence[str],
           accesses: Sequence[Access], thread_limit: float,
           extents: dict[str, int], innermost: bool,
-          textual_order: Sequence[str]) -> list[tuple[str, float]]:
+          textual_order: Sequence[str],
+          strides_by_iterator: Optional[dict[str, list]] = None
+          ) -> list[tuple[str, float]]:
     """Candidates ranked by cost (descending), textual order breaking ties
     toward the original innermost loop."""
     ranked = []
     for it in candidates:
         score = dimension_cost(weights, accesses, thread_limit,
-                               extents[it], it, innermost)
+                               extents[it], it, innermost,
+                               strides_by_iterator=strides_by_iterator)
         ranked.append((it, score))
     position = {it: k for k, it in enumerate(textual_order)}
     ranked.sort(key=lambda pair: (-pair[1], -position[pair[0]]))
@@ -187,8 +207,10 @@ def build_statement_scenarios(statement: Statement, params: dict[str, int],
         return []
 
     journal = get_journal()
+    strides = stride_table(accesses, candidates)
     inner_ranked = _best(weights, candidates, accesses, thread_limit,
-                         extents, True, statement.iterators)
+                         extents, True, statement.iterators,
+                         strides_by_iterator=strides)
     if journal.enabled:
         # Alternatives cut by the max_alternatives cap never grow a full
         # dimension chain; record them (innermost choice + its simulated
@@ -205,15 +227,16 @@ def build_statement_scenarios(statement: Statement, params: dict[str, int],
         while len(dims) < max_scenario_dims and len(dims) < len(candidates):
             remaining = [it for it in candidates if it not in dims]
             ranked = _best(weights, remaining, accesses, limit, extents,
-                           False, statement.iterators)
+                           False, statement.iterators,
+                           strides_by_iterator=strides)
             choice, score = ranked[0]
             dims.insert(0, choice)
             total += score
             limit = limit / max(extents[choice], 1)
-        stride1_writes = [a for a in accesses
-                          if a.is_write and a.stride_along(inner_choice) == 1]
-        stride1_reads = [a for a in accesses
-                         if not a.is_write and a.stride_along(inner_choice) == 1]
+        stride1_writes = [a for a, s in strides[inner_choice]
+                          if a.is_write and s == 1]
+        stride1_reads = [a for a, s in strides[inner_choice]
+                         if not a.is_write and s == 1]
         vectorizable = stride1_writes or stride1_reads
         width = _vector_width_for(stride1_writes + stride1_reads,
                                   extents[inner_choice]) if vectorizable else 0

@@ -17,6 +17,11 @@ from repro.codegen.cuda import MappedKernel
 from repro.codegen.ast import Loop, walk
 from repro.errors import ReproError
 from repro.gpu.arch import GpuArch, V100
+from repro.gpu.profile_cache import (
+    ProfileCache,
+    get_profile_cache,
+    use_profile_cache,
+)
 from repro.gpu.simulator import KernelProfile, simulate_kernel
 from repro.influence.scenarios import CostWeights
 from repro.ir.kernel import Kernel
@@ -155,13 +160,17 @@ class AkgPipeline:
                  scheduler_options: Optional[SchedulerOptions] = None,
                  cache: Optional[ScheduleCache] = None,
                  enable_cache: bool = True,
-                 trace: bool = False):
+                 trace: bool = False,
+                 sim: str = ""):
         self.arch = arch
         self.max_threads = max_threads
         self.sample_blocks = sample_blocks
         self.weights = weights = \
             weights if weights is not None else CostWeights()
         self.scheduler_options = scheduler_options or SchedulerOptions()
+        # Simulator backend name: an explicit argument wins, else the
+        # scheduler options' choice, else REPRO_SIM / registry default.
+        self.sim = sim or self.scheduler_options.sim
         self.cache = cache if cache is not None \
             else (ScheduleCache() if enable_cache else None)
         self.session = CompilationSession(options=self.scheduler_options,
@@ -281,10 +290,20 @@ class AkgPipeline:
     def measure(self, compiled: CompiledOperator) -> OperatorTiming:
         with use_obs(self.session.context.obs):
             profiles = [simulate_kernel(launch, arch=self.arch,
-                                        sample_blocks=self.sample_blocks)
+                                        sample_blocks=self.sample_blocks,
+                                        sim=self.sim)
                         for launch in compiled.launches]
         return OperatorTiming(compiled=compiled, profiles=profiles)
 
     def compile_and_measure(self, kernel: Kernel,
                             variant: str) -> OperatorTiming:
-        return self.measure(self.compile(kernel, variant))
+        # Content-identical launches dedup within this call.  Per-call
+        # scope, mirroring `compile`'s solve cache: never wider than one
+        # operator, so serial and parallel evaluations keep identical
+        # metric streams.  A wider ambient cache (the evaluation runner's
+        # per-operator scope, where novec/infl coincide whenever
+        # vectorization does not fire) is reused instead of shadowed.
+        with ExitStack() as scopes:
+            if get_profile_cache() is None:
+                scopes.enter_context(use_profile_cache(ProfileCache()))
+            return self.measure(self.compile(kernel, variant))

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.gpu.arch import GpuArch, V100
+from repro.gpu.profile_cache import ProfileCache, use_profile_cache
 from repro.gpu.simulator import simulate_kernel
 from repro.ir.kernel import Kernel
 from repro.pipeline.cache import ScheduleCache
@@ -85,21 +86,27 @@ def autotune_tile_sizes(kernel: Kernel,
                         enable_vec: bool = False,
                         arch: GpuArch = V100,
                         sample_blocks: int = 8,
-                        max_threads: int = 256) -> AutotuneResult:
+                        max_threads: int = 256,
+                        sim: str = "") -> AutotuneResult:
     """Measure every tiling candidate and return the fastest."""
     session = CompilationSession(max_threads=max_threads,
                                  cache=ScheduleCache())
     results: list[TileCandidateResult] = []
-    for sizes in candidates:
-        mapped, tiled = compile_tiled(kernel, sizes, influenced=influenced,
-                                      enable_vec=enable_vec,
-                                      max_threads=max_threads,
-                                      session=session)
-        profile = simulate_kernel(mapped, arch=arch,
-                                  sample_blocks=sample_blocks)
-        results.append(TileCandidateResult(
-            tile_sizes=tuple(sizes), tiled_loops=tiled,
-            time=profile.time, dram_bytes=profile.dram_bytes))
+    # Candidates that lower to content-identical mapped kernels (tile
+    # sizes larger than the extents collapse to the same mapping) dedup
+    # their simulation through one search-scoped profile cache.
+    with use_profile_cache(ProfileCache()):
+        for sizes in candidates:
+            mapped, tiled = compile_tiled(kernel, sizes,
+                                          influenced=influenced,
+                                          enable_vec=enable_vec,
+                                          max_threads=max_threads,
+                                          session=session)
+            profile = simulate_kernel(mapped, arch=arch,
+                                      sample_blocks=sample_blocks, sim=sim)
+            results.append(TileCandidateResult(
+                tile_sizes=tuple(sizes), tiled_loops=tiled,
+                time=profile.time, dram_bytes=profile.dram_bytes))
     best = min(results, key=lambda r: r.time)
     return AutotuneResult(kernel_name=kernel.name, best=best,
                           candidates=results)

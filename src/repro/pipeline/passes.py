@@ -201,7 +201,8 @@ def format_pass_summary(metrics: dict) -> str:
         lines.append(f"  schedule cache: {hits} hits / {misses} misses "
                      f"({rate:.1f}% hit rate)")
     for label, prefix in (("solver warm-start", "solver.warmstart"),
-                          ("solver dedup", "solver.dedup")):
+                          ("solver dedup", "solver.dedup"),
+                          ("profile cache", "sim.profile_cache")):
         reuse_hits = int(counters.get(f"{prefix}.hits", 0))
         reuse_misses = int(counters.get(f"{prefix}.misses", 0))
         if reuse_hits or reuse_misses:
@@ -214,6 +215,12 @@ def format_pass_summary(metrics: dict) -> str:
     if scheduler:
         rendered = ", ".join(f"{k}={v}" for k, v in scheduler.items())
         lines.append(f"  scheduler: {rendered}")
+    fastpath = {name[len("sim.fastpath."):]: int(amount)
+                for name, amount in sorted(counters.items())
+                if name.startswith("sim.fastpath.") and amount}
+    if fastpath:
+        rendered = ", ".join(f"{k}={v}" for k, v in fastpath.items())
+        lines.append(f"  simulator fast path: {rendered}")
     histograms = metrics.get("histograms", {})
     for hist_name in ("solver.solve_seconds", "solver.warmstart.reuse_seconds"):
         hist = histograms.get(hist_name)

@@ -75,6 +75,9 @@ class SchedulerOptions:
     # Solver backend name; "" resolves via REPRO_SOLVER / the registry
     # default (see repro.solver.backend).
     solver: str = ""
+    # Simulator backend name; "" resolves via REPRO_SIM / the registry
+    # default (see repro.gpu.backend).
+    sim: str = ""
 
 
 @dataclass

@@ -68,7 +68,8 @@ def operator_snapshot(compiled: CompiledOperator,
     launches = []
     for launch in compiled.launches:
         profile = simulate_kernel(launch, arch=pipeline.arch,
-                                  sample_blocks=sample_blocks)
+                                  sample_blocks=sample_blocks,
+                                  sim=getattr(pipeline, "sim", ""))
         launches.append({
             "kernel": launch.kernel.name,
             "schedule": schedule_to_dict(launch.schedule,
