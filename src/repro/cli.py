@@ -737,6 +737,7 @@ def _cmd_verify(args) -> int:
         goldens_dir=args.goldens_dir or None,
         corpus_dir=args.corpus_dir or None,
         check_goldens=not args.no_goldens,
+        check_families=not args.no_families,
         check_oracle=not args.no_oracle,
         check_metamorphic=not args.no_metamorphic,
         check_corpus=not args.no_corpus)
@@ -1004,6 +1005,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus-dir", default="",
                    help="override the corpus directory (tests/corpus)")
     p.add_argument("--no-goldens", action="store_true")
+    p.add_argument("--no-families", action="store_true",
+                   help="skip the per-operator-family goldens")
     p.add_argument("--no-oracle", action="store_true")
     p.add_argument("--no-metamorphic", action="store_true")
     p.add_argument("--no-corpus", action="store_true")

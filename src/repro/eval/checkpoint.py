@@ -71,6 +71,7 @@ def evaluation_scope(config) -> dict:
         "weights": asdict(config.weights),
         "deadline_ms": config.deadline_ms,
         "verify": config.verify,
+        "templates": config.templates,
         "solver": resolve_backend(config.solver).name,
     }
 

@@ -23,9 +23,9 @@ from repro.pipeline.passes import format_pass_summary, merge_metric_dicts
 
 CSV_FIELDS = [
     "network", "operator", "op_class", "influenced", "vectorized",
-    "isl_us", "tvm_us", "novec_us", "infl_us",
-    "speedup_tvm", "speedup_novec", "speedup_infl",
-    "launches_isl", "launches_infl",
+    "isl_us", "tvm_us", "novec_us", "infl_us", "template_us",
+    "speedup_tvm", "speedup_novec", "speedup_infl", "speedup_template",
+    "launches_isl", "launches_infl", "launches_template",
     "status", "degradation",
 ]
 
@@ -57,11 +57,14 @@ def operators_csv(results: Iterable[NetworkResult]) -> str:
                 "tvm_us": _us(op, "tvm"),
                 "novec_us": _us(op, "novec"),
                 "infl_us": _us(op, "infl"),
+                "template_us": _us(op, "template"),
                 "speedup_tvm": _speedup(op, "tvm"),
                 "speedup_novec": _speedup(op, "novec"),
                 "speedup_infl": _speedup(op, "infl"),
+                "speedup_template": _speedup(op, "template"),
                 "launches_isl": op.launches.get("isl", ""),
                 "launches_infl": op.launches.get("infl", ""),
+                "launches_template": op.launches.get("template", ""),
                 "status": op.status,
                 "degradation": ";".join(f"{v}={level}" for v, level
                                         in sorted(op.degradation.items())),
@@ -74,8 +77,8 @@ def markdown_summary(results: Iterable[NetworkResult]) -> str:
     results = list(results)
     lines = [
         "| Network | total | vec | infl | isl (ms) | tvm | novec | infl "
-        "| speedup infl |",
-        "|---|---|---|---|---|---|---|---|---|",
+        "| template | speedup infl | speedup tmpl |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for result in results:
         row = table2_row(result)
@@ -84,7 +87,8 @@ def markdown_summary(results: Iterable[NetworkResult]) -> str:
             f"| {row['network']} | {row['total']} | {row['vec']} "
             f"| {row['infl_count']} | {a['isl_ms']:.2f} | {a['tvm_ms']:.2f} "
             f"| {a['novec_ms']:.2f} | {a['infl_ms']:.2f} "
-            f"| {a['speedup_infl']:.2f}x |")
+            f"| {a['template_ms']:.2f} "
+            f"| {a['speedup_infl']:.2f}x | {a['speedup_template']:.2f}x |")
     lines.append("")
     lines.append(f"geomean influenced speedup: "
                  f"{geomean_speedup(results):.2f}x")

@@ -78,6 +78,7 @@ class EvaluationConfig:
     trace: bool = False    # record structured pass-trace events
     deadline_ms: Optional[float] = None  # wall-clock solve budget per attempt
     verify: bool = False   # run the differential oracle on every operator
+    templates: bool = True  # measure the per-class template baseline column
     solver: str = ""       # backend name; "" = REPRO_SOLVER env / default
     sim: str = ""          # simulator backend; "" = REPRO_SIM env / default
     # -- supervision (parallel runs only; see repro.eval.supervisor) ---------
@@ -209,6 +210,7 @@ def _make_pipeline(config: EvaluationConfig) -> AkgPipeline:
 
 def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
                       kernel: Kernel, verify: bool = False,
+                      templates: bool = False,
                       beat: Optional[Callable[[], None]] = None
                       ) -> OperatorResult:
     """Compile and measure one fused operator under all four variants.
@@ -227,6 +229,12 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
     any finding lands in :attr:`OperatorResult.verify_problems` and marks
     the operator ``failed`` — a measurement whose semantics drifted from
     the baseline is worse than one that never compiled.
+
+    With ``templates`` the operator is additionally compiled under its
+    class's TVM-style template baseline
+    (:mod:`repro.workloads.templates`); the measurement rides in
+    ``times["template"]`` / ``launches["template"]`` next to the variants
+    (a template failure only drops the column, never the operator).
     """
     times: dict[str, float] = {}
     launches: dict[str, int] = {}
@@ -269,6 +277,20 @@ def evaluate_operator(pipeline: AkgPipeline, name: str, op_class: str,
                 degradation[variant] = compiled.degradation
             if variant == "infl":
                 vectorized = compiled.vectorized
+        if templates:
+            from repro.workloads.templates import template_measure
+            try:
+                template = template_measure(
+                    kernel, op_class, arch=pipeline.arch,
+                    sample_blocks=pipeline.sample_blocks,
+                    max_threads=pipeline.max_threads, sim=pipeline.sim)
+            except ReproError as exc:
+                pipeline.context.count("templates.failed")
+                logger.warning("operator %s template baseline failed: %s",
+                               name, exc)
+            else:
+                times["template"] = template.time
+                launches["template"] = template.n_launches
         verify_problems: list[str] = []
         if verify and not errors:
             from repro.verify.oracle import differential_oracle
@@ -370,7 +392,8 @@ def _evaluate_index(network: str, config: EvaluationConfig, index: int,
     if _IS_WORKER:
         _worker_faults(network, kernel.name, attempt)
     result = evaluate_operator(pipeline, kernel.name, op_class, kernel,
-                               verify=config.verify, beat=beat)
+                               verify=config.verify,
+                               templates=config.templates, beat=beat)
     return index, result, pipeline.context.as_dict()
 
 
@@ -388,7 +411,8 @@ def _evaluate_index_fresh(network: str, config: EvaluationConfig,
     op_class, kernel = _worker_suite(network, config.seed,
                                      config.limit_per_network)[index]
     result = evaluate_operator(pipeline, kernel.name, op_class, kernel,
-                               verify=config.verify)
+                               verify=config.verify,
+                               templates=config.templates)
     return index, result, pipeline.context.as_dict()
 
 
@@ -480,7 +504,8 @@ def evaluate_all(config: Optional[EvaluationConfig] = None,
             # and the merged totals match the parallel path bit for bit.
             pipeline.session.context = PassContext(trace=config.trace)
             result = evaluate_operator(pipeline, kernel.name, op_class,
-                                       kernel, verify=config.verify)
+                                       kernel, verify=config.verify,
+                                       templates=config.templates)
             on_complete(network, index, result, pipeline.context.as_dict())
 
     out = {}

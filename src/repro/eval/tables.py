@@ -38,18 +38,22 @@ def table2_row(result: NetworkResult) -> dict:
             "tvm_ms": ms("tvm"),
             "novec_ms": ms("novec"),
             "infl_ms": ms("infl"),
+            "template_ms": ms("template"),
             "speedup_tvm": result.speedup("tvm"),
             "speedup_novec": result.speedup("novec"),
             "speedup_infl": result.speedup("infl"),
+            "speedup_template": result.speedup("template"),
         },
         "influenced": {
             "isl_ms": ms("isl", True),
             "tvm_ms": ms("tvm", True),
             "novec_ms": ms("novec", True),
             "infl_ms": ms("infl", True),
+            "template_ms": ms("template", True),
             "speedup_tvm": result.speedup("tvm", True),
             "speedup_novec": result.speedup("novec", True),
             "speedup_infl": result.speedup("infl", True),
+            "speedup_template": result.speedup("template", True),
         },
     }
 
@@ -57,13 +61,15 @@ def table2_row(result: NetworkResult) -> dict:
 def format_table2(results: Iterable[NetworkResult]) -> str:
     """TABLE II: fused operators execution times, in the paper's layout."""
     header1 = (f"{'':12s}|{'Operator Count':^17s}|"
-               f"{'Execution Time (ms) — All':^33s}|{'Speedup':^20s}|"
-               f"{'Exec Time (ms) — Influenced':^33s}|{'Speedup':^20s}")
+               f"{'Execution Time (ms) — All':^41s}|{'Speedup':^26s}|"
+               f"{'Exec Time (ms) — Influenced':^41s}|{'Speedup':^26s}")
     header2 = (f"{'Network':<12s}|{'total':>5s}{'vec':>5s}{'infl':>6s} |"
-               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s} |"
-               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s} |"
-               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s} |"
-               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s}")
+               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s}"
+               f"{'tmpl':>8s} |"
+               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s}{'tmpl':>6s} |"
+               f"{'isl':>8s}{'tvm':>8s}{'novec':>8s}{'infl':>8s}"
+               f"{'tmpl':>8s} |"
+               f"{'tvm':>6s}{'novec':>7s}{'infl':>6s}{'tmpl':>6s}")
     lines = ["TABLE II — FUSED OPERATORS EXECUTION TIMES",
              header1, header2, "-" * len(header2)]
     for result in results:
@@ -73,13 +79,15 @@ def format_table2(results: Iterable[NetworkResult]) -> str:
             f"{row['network']:<12s}|{row['total']:>5d}{row['vec']:>5d}"
             f"{row['infl_count']:>6d} |"
             f"{a['isl_ms']:>8.2f}{a['tvm_ms']:>8.2f}"
-            f"{a['novec_ms']:>8.2f}{a['infl_ms']:>8.2f} |"
+            f"{a['novec_ms']:>8.2f}{a['infl_ms']:>8.2f}"
+            f"{a['template_ms']:>8.2f} |"
             f"{a['speedup_tvm']:>6.2f}{a['speedup_novec']:>7.2f}"
-            f"{a['speedup_infl']:>6.2f} |"
+            f"{a['speedup_infl']:>6.2f}{a['speedup_template']:>6.2f} |"
             f"{i['isl_ms']:>8.2f}{i['tvm_ms']:>8.2f}"
-            f"{i['novec_ms']:>8.2f}{i['infl_ms']:>8.2f} |"
+            f"{i['novec_ms']:>8.2f}{i['infl_ms']:>8.2f}"
+            f"{i['template_ms']:>8.2f} |"
             f"{i['speedup_tvm']:>6.2f}{i['speedup_novec']:>7.2f}"
-            f"{i['speedup_infl']:>6.2f}")
+            f"{i['speedup_infl']:>6.2f}{i['speedup_template']:>6.2f}")
     return "\n".join(lines)
 
 

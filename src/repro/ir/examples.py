@@ -102,6 +102,74 @@ def jacobi_1d(n: int = 64) -> Kernel:
     return kernel
 
 
+def jacobi_2d(n: int = 64, name: str = "jacobi_2d") -> Kernel:
+    """A two-statement 2D Jacobi step pair (5-point star, interior domain).
+
+    The 2D generalization of :func:`jacobi_1d`: both statements iterate the
+    interior ``[1, N-1) x [1, N-1)`` and read the four face neighbours plus
+    the centre, so dependence analysis sees +/-1 shifts along *both*
+    dimensions and fusion at identical dates is invalid in either one.
+    """
+    kernel = Kernel(name, params={"N": n})
+    kernel.add_tensor("A", (n, n))
+    kernel.add_tensor("B", (n, n))
+    kernel.add_tensor("C", (n, n))
+    interior = [("i", 1, "N - 1"), ("j", 1, "N - 1")]
+    kernel.add_statement(
+        "S1", interior,
+        writes=[("B", ["i", "j"])],
+        reads=[("A", ["i - 1", "j"]), ("A", ["i + 1", "j"]),
+               ("A", ["i", "j - 1"]), ("A", ["i", "j + 1"]),
+               ("A", ["i", "j"])],
+        flops=4)
+    kernel.add_statement(
+        "S2", interior,
+        writes=[("C", ["i", "j"])],
+        reads=[("B", ["i - 1", "j"]), ("B", ["i + 1", "j"]),
+               ("B", ["i", "j - 1"]), ("B", ["i", "j + 1"]),
+               ("B", ["i", "j"])],
+        flops=4)
+    kernel.validate()
+    return kernel
+
+
+def heat_2d(n: int = 64, name: str = "heat_2d") -> Kernel:
+    """A three-statement 2D heat pipeline with a full-domain middle stage.
+
+    Two 5-point diffusion steps separated by a whole-domain pointwise
+    rescale: the stencil statements iterate the interior while the rescale
+    iterates the full ``[0, N) x [0, N)`` square, so the pipeline mixes
+    iteration spaces (the isl baseline distributes at the space change)
+    *and* carries shifted flow dependences across the middle stage.
+    """
+    kernel = Kernel(name, params={"N": n})
+    kernel.add_tensor("A", (n, n))
+    kernel.add_tensor("B", (n, n))
+    kernel.add_tensor("Bs", (n, n))
+    kernel.add_tensor("C", (n, n))
+    interior = [("i", 1, "N - 1"), ("j", 1, "N - 1")]
+    kernel.add_statement(
+        "Step1", interior,
+        writes=[("B", ["i", "j"])],
+        reads=[("A", ["i", "j"]), ("A", ["i - 1", "j"]),
+               ("A", ["i + 1", "j"]), ("A", ["i", "j - 1"]),
+               ("A", ["i", "j + 1"])],
+        flops=5)
+    kernel.add_statement(
+        "Scale", [("i", 0, "N"), ("j", 0, "N")],
+        writes=[("Bs", ["i", "j"])],
+        reads=[("B", ["i", "j"])])
+    kernel.add_statement(
+        "Step2", interior,
+        writes=[("C", ["i", "j"])],
+        reads=[("Bs", ["i", "j"]), ("Bs", ["i - 1", "j"]),
+               ("Bs", ["i + 1", "j"]), ("Bs", ["i", "j - 1"]),
+               ("Bs", ["i", "j + 1"])],
+        flops=5)
+    kernel.validate()
+    return kernel
+
+
 def transpose_add(n: int = 64) -> Kernel:
     """Transpose fused with an element-wise add — the class of operators
     where the paper reports the largest gains (ResNet-50/101)."""

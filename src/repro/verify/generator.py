@@ -27,6 +27,7 @@ from repro.ir.kernel import Kernel
 
 ITER_POOL = ("i", "j", "k")
 DEFAULT_EXTENT = 4  # small enough for exhaustive instance checking
+WINDOW_EXTENT = 2   # extent of the windowed-access iterator ``r``
 
 # Deterministic weight presets the fuzzer cycles through: default costs,
 # vectorization-greedy, and locality-heavy.  Varying the weight vector
@@ -111,10 +112,22 @@ def spec_to_text(spec: KernelSpec, header: str = "") -> str:
 
 def random_spec(rng: random.Random, index: int = 0,
                 extent: int = DEFAULT_EXTENT) -> KernelSpec:
-    """One random kernel spec (mirrors the hypothesis strategy)."""
+    """One random kernel spec (mirrors the hypothesis strategy).
+
+    Beyond the elementwise/triangular base grammar, two productions reach
+    the dependence shapes of the new operator families: *windowed access*
+    (an extra iterator ``r`` of constant extent feeding ``i + r``
+    subscripts into padded inputs — the depthwise-conv pattern) and
+    *multi-reduction* (a rank-reducing accumulator statement that also
+    broadcast-reads an earlier reduction's output — the attention
+    row-max/row-sum chain).
+    """
     n = extent
+    pad = n + WINDOW_EXTENT - 1
     tensors: list[tuple[str, tuple[int, ...]]] = [
         (f"In{rank}", (n,) * rank) for rank in (1, 2, 3)]
+    # Window-padded inputs: ``i + r`` stays in bounds for i < N, r < WINDOW.
+    tensors += [("WIn1", (pad,)), ("WIn2", (pad, pad))]
     written: list[tuple[str, int]] = [(f"In{r}", r) for r in (1, 2, 3)]
     statements: list[StatementSpec] = []
 
@@ -123,6 +136,9 @@ def random_spec(rng: random.Random, index: int = 0,
         depth = rng.randint(1, 3)
         iters = list(ITER_POOL[:depth])
         triangular = depth >= 2 and rng.random() < 0.5
+        windowed = not triangular and rng.random() < 0.25
+        reduction = (not triangular and not windowed and depth >= 2
+                     and rng.random() < 0.25)
         bounds = []
         for level, it in enumerate(iters):
             if triangular and level == 1:
@@ -132,6 +148,8 @@ def random_spec(rng: random.Random, index: int = 0,
                 # the vector-loop rebasing paths (see the corpus reproducer
                 # for the strip-mining lower-bound regression).
                 bounds.append((it, rng.choice((0, 0, 0, 2)), "N"))
+        if windowed:
+            bounds.append(("r", 0, str(WINDOW_EXTENT)))
 
         def subscripts(rank: int) -> tuple[str, ...]:
             subs = []
@@ -145,15 +163,34 @@ def random_spec(rng: random.Random, index: int = 0,
                     subs.append(choice)
             return tuple(subs)
 
-        out_rank = rng.randint(1, min(3, depth))
+        if reduction:
+            out_rank = depth - 1  # innermost iterator reduces away
+        else:
+            out_rank = rng.randint(1, min(3, depth))
         out_name = f"T{s_index}"
         tensors.append((out_name, (n,) * out_rank))
         write_subs = tuple(iters[:out_rank])
         reads = []
+        if windowed:
+            # A shifted read through the window iterator; the write omits
+            # ``r``, so the statement accumulates over the window.
+            wrank = rng.choice((1, 2))
+            subs = tuple([f"{iters[0]} + r"]
+                         + [rng.choice(iters) for _ in range(wrank - 1)])
+            reads.append((f"WIn{wrank}", subs))
+            reads.append((out_name, write_subs))
         for _ in range(rng.randint(0, 2)):
             tensor, rank = rng.choice(written)
             reads.append((tensor, subscripts(rank)))
-        if rng.random() < 0.5:
+        if reduction:
+            reads.append((out_name, write_subs))  # carried accumulator
+            prior = [t for t, rank in written
+                     if rank == 1 and t.startswith("T")]
+            if prior:
+                # Broadcast an earlier reduction's row vector back in —
+                # the reduce -> broadcast -> reduce chain of attention.
+                reads.append((prior[-1], (iters[0],)))
+        elif not windowed and rng.random() < 0.5:
             reads.append((out_name, write_subs))  # accumulator style
         statements.append(StatementSpec(
             name=f"S{s_index}",

@@ -1,11 +1,14 @@
 """`repro verify` orchestration: goldens + oracle + metamorphic + corpus.
 
-One entry point, :func:`run_verify`, drives the four verification engines
+One entry point, :func:`run_verify`, drives the five verification engines
 over the Table II networks:
 
 * golden regression (:mod:`repro.verify.snapshot`) on each network's
   production-scale suite — exact snapshot comparison, or re-blessing with
   ``update_goldens=True``;
+* per-operator-family goldens (``family_*.json``): fixed tiny kernels for
+  depthwise conv, attention blocks and the 2D stencils, pinned under both
+  golden variants plus the family's template baseline;
 * the differential oracle (:mod:`repro.verify.oracle`): the analytic tier
   on the same production-scale operators, and the full exhaustive tier on
   the network's tiny-shape :func:`~repro.workloads.generator.verification_suite`;
@@ -28,7 +31,8 @@ from repro.pipeline.akg import AkgPipeline
 from repro.verify.fuzz import replay_corpus
 from repro.verify.metamorphic import metamorphic_check
 from repro.verify.oracle import differential_oracle
-from repro.verify.snapshot import (GoldenConfig, build_network_golden,
+from repro.verify.snapshot import (GOLDEN_FAMILIES, GoldenConfig,
+                                   build_family_golden, build_network_golden,
                                    compare_goldens, load_golden, write_golden)
 from repro.workloads.generator import generate_network_suite, verification_suite
 from repro.workloads.networks import NETWORKS
@@ -48,6 +52,7 @@ class VerifyConfig:
     goldens_dir: Optional[str] = None
     corpus_dir: Optional[str] = None
     check_goldens: bool = True
+    check_families: bool = True
     check_oracle: bool = True
     check_metamorphic: bool = True
     check_corpus: bool = True
@@ -122,6 +127,33 @@ def _verify_goldens(config: VerifyConfig, report: VerifyReport,
         report.add(f"golden/{network}", compare_goldens(expected, actual))
 
 
+def _verify_families(config: VerifyConfig, report: VerifyReport,
+                     pipeline: AkgPipeline) -> None:
+    """Per-operator-family goldens: fixed tiny kernels, network-independent,
+    pinning both golden variants and the family template baseline."""
+    golden_config = config.golden_config()
+    for family in GOLDEN_FAMILIES:
+        section = f"family/{family}"
+        try:
+            actual = build_family_golden(family, golden_config,
+                                         pipeline=pipeline)
+        except ReproError as exc:
+            report.add(section,
+                       [f"family build failed: {type(exc).__name__}: {exc}"])
+            continue
+        if config.update_goldens:
+            report.updated_goldens.append(
+                write_golden(actual, config.goldens_dir))
+            continue
+        expected = load_golden(actual["network"], config.goldens_dir)
+        if expected is None:
+            report.add(section,
+                       ["no golden committed; run `repro verify "
+                        "--update-goldens` and review the diff"])
+            continue
+        report.add(section, compare_goldens(expected, actual))
+
+
 def _verify_oracle(config: VerifyConfig, report: VerifyReport,
                    pipeline: AkgPipeline) -> None:
     for network in report.networks:
@@ -164,6 +196,8 @@ def run_verify(config: Optional[VerifyConfig] = None) -> VerifyReport:
                            sim=config.sim)
     if config.check_goldens:
         _verify_goldens(config, report, pipeline)
+    if config.check_families:
+        _verify_families(config, report, pipeline)
     if config.check_oracle:
         _verify_oracle(config, report, pipeline)
     if config.check_metamorphic:

@@ -61,24 +61,29 @@ class GoldenConfig:
                 "max_threads": self.max_threads}
 
 
+def _launch_snapshot(launch, pipeline: AkgPipeline, sample_blocks: int,
+                     degradation: str = "none") -> dict:
+    profile = simulate_kernel(launch, arch=pipeline.arch,
+                              sample_blocks=sample_blocks,
+                              sim=getattr(pipeline, "sim", ""))
+    return {
+        "kernel": launch.kernel.name,
+        "schedule": schedule_to_dict(launch.schedule,
+                                     degradation=degradation),
+        "ast": launch.ast.render(),
+        "grid": [[d.loop_var, d.extent, d.mapping] for d in launch.grid],
+        "block": [[d.loop_var, d.extent, d.mapping] for d in launch.block],
+        "profile": profile.counters(),
+    }
+
+
 def operator_snapshot(compiled: CompiledOperator,
                       pipeline: AkgPipeline,
                       sample_blocks: int = 2) -> dict:
     """The golden snapshot of one compiled operator."""
-    launches = []
-    for launch in compiled.launches:
-        profile = simulate_kernel(launch, arch=pipeline.arch,
-                                  sample_blocks=sample_blocks,
-                                  sim=getattr(pipeline, "sim", ""))
-        launches.append({
-            "kernel": launch.kernel.name,
-            "schedule": schedule_to_dict(launch.schedule,
-                                         degradation=compiled.degradation),
-            "ast": launch.ast.render(),
-            "grid": [[d.loop_var, d.extent, d.mapping] for d in launch.grid],
-            "block": [[d.loop_var, d.extent, d.mapping] for d in launch.block],
-            "profile": profile.counters(),
-        })
+    launches = [_launch_snapshot(launch, pipeline, sample_blocks,
+                                 degradation=compiled.degradation)
+                for launch in compiled.launches]
     return {
         "variant": compiled.variant,
         "degradation": compiled.degradation,
@@ -114,6 +119,82 @@ def build_network_golden(network: str,
         "network": network,
         "config": config.as_dict(),
         "operators": operators,
+    }
+
+
+# -- per-family goldens --------------------------------------------------------
+
+# Fixed tiny-shape builders for the operator-family goldens: one committed
+# document per family (filename ``family_<name>.json``), pinning schedules,
+# ASTs, launch geometry and profiles for both golden variants *plus* the
+# family's TVM-style template baseline.  Shapes match the exhaustive-oracle
+# tier in ``generator._VERIFY_BUILDERS`` so the pinned artifacts are the
+# same ones the oracle proves semantics-preserving.
+def _family_builders() -> dict:
+    from repro.ir import examples
+    from repro.workloads import operators
+    return {
+        "depthwise_conv": lambda: operators.depthwise_conv_op(
+            "family_depthwise_conv", channels=2, height=4, width=4,
+            kernel_size=2),
+        "attention_block": lambda: operators.attention_block_op(
+            "family_attention_block", seq=4, dmodel=4),
+        "stencil2d_jacobi": lambda: examples.jacobi_2d(
+            6, name="family_stencil2d_jacobi"),
+        "stencil2d_heat": lambda: examples.heat_2d(
+            6, name="family_stencil2d_heat"),
+    }
+
+
+GOLDEN_FAMILIES = ("depthwise_conv", "attention_block",
+                   "stencil2d_jacobi", "stencil2d_heat")
+
+# op_class label used for the family's template baseline snapshot.
+_FAMILY_TEMPLATE_CLASS = {
+    "depthwise_conv": "depthwise_conv",
+    "attention_block": "attention_block",
+    "stencil2d_jacobi": "stencil_2d",
+    "stencil2d_heat": "stencil_2d",
+}
+
+
+def build_family_golden(family: str,
+                        config: Optional[GoldenConfig] = None,
+                        pipeline: Optional[AkgPipeline] = None) -> dict:
+    """Compile one operator family's fixed kernel and snapshot it under
+    every golden variant plus the family template baseline."""
+    from repro.workloads.templates import template_compile, template_kind
+    config = config or GoldenConfig()
+    builders = _family_builders()
+    if family not in builders:
+        raise ValueError(f"unknown operator family {family!r}; "
+                         f"pick from {GOLDEN_FAMILIES}")
+    pipeline = pipeline or AkgPipeline(max_threads=config.max_threads,
+                                       sample_blocks=config.sample_blocks)
+    kernel = builders[family]()
+    snapshots = {}
+    for variant in GOLDEN_VARIANTS:
+        compiled = pipeline.compile(kernel, variant)
+        snapshots[variant] = operator_snapshot(
+            compiled, pipeline, sample_blocks=config.sample_blocks)
+    op_class = _FAMILY_TEMPLATE_CLASS[family]
+    template_launches = template_compile(kernel, op_class,
+                                         max_threads=config.max_threads)
+    template = {
+        "kind": template_kind(op_class),
+        "n_launches": len(template_launches),
+        "launches": [_launch_snapshot(launch, pipeline,
+                                      config.sample_blocks)
+                     for launch in template_launches],
+    }
+    return {
+        "version": GOLDEN_VERSION,
+        "network": f"family_{family}",
+        "family": family,
+        "config": config.as_dict(),
+        "operators": {kernel.name: {"class": op_class,
+                                    "variants": snapshots,
+                                    "template": template}},
     }
 
 

@@ -39,6 +39,24 @@ _CHAIN_LENGTHS = {
     "medium": [2, 3],
     "large": [3, 4],
 }
+# (channels, height, width, kernel_size) pools for depthwise convolutions.
+_SHAPES_DW = {
+    "small": [(8, 12, 12, 3), (8, 8, 8, 2)],
+    "medium": [(16, 16, 16, 3), (16, 12, 12, 2)],
+    "large": [(24, 16, 16, 3), (16, 16, 16, 3)],
+}
+# (seq, dmodel) pools for attention blocks.
+_SHAPES_ATTN = {
+    "small": [(16, 16), (16, 8)],
+    "medium": [(32, 32), (32, 16)],
+    "large": [(64, 32), (48, 32)],
+}
+# Square sizes for 2D stencil pipelines.
+_STENCIL_SIZES = {
+    "small": [32, 48],
+    "medium": [64, 96],
+    "large": [96, 128],
+}
 
 
 def _spread(mix: dict[str, int], total: int,
@@ -56,43 +74,153 @@ def _spread(mix: dict[str, int], total: int,
     return labels
 
 
+def _build_elementwise_neutral(name, spec, rng):
+    rows, _ = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.elementwise_chain_op(
+        name, rows=rows, cols=rng.choice(_NEUTRAL_COLS),
+        length=1, extra_inputs=rng.choice([0, 1]))
+
+
+def _build_elementwise_vec(name, spec, rng):
+    rows, cols = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.elementwise_chain_op(
+        name, rows=rows, cols=cols,
+        length=rng.choice(_CHAIN_LENGTHS[spec.size_class]),
+        extra_inputs=rng.choice([0, 1]))
+
+
+def _build_broadcast(name, spec, rng):
+    rows, cols = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.broadcast_bias_op(name, rows=rows, cols=cols)
+
+
+def _build_reduce_producer(name, spec, rng):
+    rows, _ = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.reduce_producer_op(name, rows=rows,
+                                        red=rng.choice([16, 32]))
+
+
+def _build_layout_conversion(name, spec, rng):
+    batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
+    return operators.layout_conversion_op(
+        name, batch=batch, channels=channels, height=height, width=width,
+        to_nhwc=rng.choice([True, True, True, False]),
+        fused_elementwise=rng.choice([0, 1]))
+
+
+def _build_layout_conversion_f16(name, spec, rng):
+    batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
+    return operators.layout_conversion_op(
+        name, batch=batch, channels=channels, height=height, width=width,
+        dtype=FLOAT16, to_nhwc=True, fused_elementwise=0)
+
+
+def _build_softmax_like(name, spec, rng):
+    rows, cols = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.softmax_like_op(name, rows=rows, cols=cols)
+
+
+def _build_strided_pool(name, spec, rng):
+    side = rng.choice([128, 256])
+    return operators.strided_pool_op(name, rows=side, cols=side)
+
+
+def _build_transpose2d(name, spec, rng):
+    rows, _ = rng.choice(_SHAPES_2D[spec.size_class])
+    return operators.transpose2d_op(name, rows=max(rows // 16, 64), cols=64)
+
+
+def _build_depthwise_conv(name, spec, rng):
+    channels, height, width, k = rng.choice(_SHAPES_DW[spec.size_class])
+    return operators.depthwise_conv_op(name, channels=channels, height=height,
+                                       width=width, kernel_size=k)
+
+
+def _build_attention_block(name, spec, rng):
+    seq, dmodel = rng.choice(_SHAPES_ATTN[spec.size_class])
+    return operators.attention_block_op(name, seq=seq, dmodel=dmodel)
+
+
+def _build_stencil_2d(name, spec, rng):
+    size = rng.choice(_STENCIL_SIZES[spec.size_class])
+    return operators.stencil2d_op(name, size=size,
+                                  kind=rng.choice(["jacobi", "heat"]))
+
+
+# The canonical operator-class registry: class label -> production-scale
+# builder ``(name, spec, rng) -> Kernel``.  Everything that enumerates
+# classes (network mixes, verification stand-ins, template baselines)
+# must stay in sync with this table — enforced by
+# :func:`validate_class_registry`.
+_BUILDERS = {
+    "elementwise_neutral": _build_elementwise_neutral,
+    "elementwise_vec": _build_elementwise_vec,
+    "broadcast": _build_broadcast,
+    "reduce_producer": _build_reduce_producer,
+    "layout_conversion": _build_layout_conversion,
+    "layout_conversion_f16": _build_layout_conversion_f16,
+    "softmax_like": _build_softmax_like,
+    "strided_pool": _build_strided_pool,
+    "transpose2d": _build_transpose2d,
+    "depthwise_conv": _build_depthwise_conv,
+    "attention_block": _build_attention_block,
+    "stencil_2d": _build_stencil_2d,
+}
+
+OPERATOR_CLASSES = tuple(_BUILDERS)
+
+
 def _build(cls: str, name: str, spec: NetworkSpec,
            rng: random.Random) -> Kernel:
-    rows, cols = rng.choice(_SHAPES_2D[spec.size_class])
-    if cls == "elementwise_neutral":
-        return operators.elementwise_chain_op(
-            name, rows=rows, cols=rng.choice(_NEUTRAL_COLS),
-            length=1, extra_inputs=rng.choice([0, 1]))
-    if cls == "elementwise_vec":
-        return operators.elementwise_chain_op(
-            name, rows=rows, cols=cols,
-            length=rng.choice(_CHAIN_LENGTHS[spec.size_class]),
-            extra_inputs=rng.choice([0, 1]))
-    if cls == "broadcast":
-        return operators.broadcast_bias_op(name, rows=rows, cols=cols)
-    if cls == "reduce_producer":
-        return operators.reduce_producer_op(name, rows=rows,
-                                            red=rng.choice([16, 32]))
-    if cls == "layout_conversion":
-        batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
-        return operators.layout_conversion_op(
-            name, batch=batch, channels=channels, height=height, width=width,
-            to_nhwc=rng.choice([True, True, True, False]),
-            fused_elementwise=rng.choice([0, 1]))
-    if cls == "layout_conversion_f16":
-        batch, channels, height, width = rng.choice(_SHAPES_4D[spec.size_class])
-        return operators.layout_conversion_op(
-            name, batch=batch, channels=channels, height=height, width=width,
-            dtype=FLOAT16, to_nhwc=True, fused_elementwise=0)
-    if cls == "softmax_like":
-        return operators.softmax_like_op(name, rows=rows, cols=cols)
-    if cls == "strided_pool":
-        side = rng.choice([128, 256])
-        return operators.strided_pool_op(name, rows=side, cols=side)
-    if cls == "transpose2d":
-        return operators.transpose2d_op(name, rows=max(rows // 16, 64),
-                                        cols=64)
-    raise ValueError(f"unknown operator class {cls!r}")
+    try:
+        builder = _BUILDERS[cls]
+    except KeyError:
+        raise ValueError(f"unknown operator class {cls!r}; "
+                         f"pick from {OPERATOR_CLASSES}") from None
+    return builder(name, spec, rng)
+
+
+def validate_class_registry() -> None:
+    """Assert the class registry, the network mixes, the tiny-shape verify
+    builders and the template-baseline table all agree.
+
+    A class added to :data:`_BUILDERS` but missing from every network mix
+    would silently never be synthesized (this actually happened to
+    ``transpose2d``); a mix naming an unknown class would explode at
+    generation time; a class without a verify builder would skip the
+    exhaustive oracle tier; one without a template entry would lose its
+    baseline column.  Checked at every suite generation — cheap, and it
+    turns all four drift modes into an immediate, named error.
+    """
+    from repro.workloads.templates import TEMPLATES
+    builder_classes = set(_BUILDERS)
+    problems = []
+    mixed: set = set()
+    for spec in NETWORKS.values():
+        unknown = sorted(set(spec.mix) - builder_classes)
+        if unknown:
+            problems.append(f"network {spec.name} mixes unknown "
+                            f"class(es) {unknown}")
+        mixed |= set(spec.mix)
+    orphans = sorted(builder_classes - mixed)
+    if orphans:
+        problems.append(f"operator class(es) {orphans} appear in no "
+                        f"network mix (silently never synthesized)")
+    missing_verify = sorted(builder_classes - set(_VERIFY_BUILDERS))
+    extra_verify = sorted(set(_VERIFY_BUILDERS) - builder_classes)
+    if missing_verify:
+        problems.append(f"class(es) {missing_verify} have no tiny-shape "
+                        f"verify builder")
+    if extra_verify:
+        problems.append(f"verify builder(s) {extra_verify} name unknown "
+                        f"classes")
+    missing_templates = sorted(builder_classes - set(TEMPLATES))
+    if missing_templates:
+        problems.append(f"class(es) {missing_templates} have no template "
+                        f"baseline (workloads/templates.py)")
+    if problems:
+        raise ValueError("operator class registry drift: "
+                         + "; ".join(problems))
 
 
 def generate_network_suite(network: str, seed: int = 0,
@@ -104,6 +232,7 @@ def generate_network_suite(network: str, seed: int = 0,
     operator count (or ``limit`` operators, sampled deterministically, for
     quick runs).
     """
+    validate_class_registry()
     spec = NETWORKS[network]
     # zlib.crc32 is stable across processes (str.__hash__ is salted).
     rng = random.Random(zlib.crc32(network.encode()) ^ seed)
@@ -161,6 +290,12 @@ _VERIFY_BUILDERS = {
         name, rows=8, cols=8),
     "transpose2d": lambda name: operators.transpose2d_op(
         name, rows=16, cols=8),
+    "depthwise_conv": lambda name: operators.depthwise_conv_op(
+        name, channels=2, height=4, width=4, kernel_size=2),
+    "attention_block": lambda name: operators.attention_block_op(
+        name, seq=4, dmodel=4),
+    "stencil_2d": lambda name: operators.stencil2d_op(
+        name, size=6, kind="heat"),
 }
 
 
@@ -173,6 +308,7 @@ def verification_suite(network: str) -> list[tuple[str, Kernel]]:
     suite from :func:`generate_network_suite` only gets the analytic tier.
     Deterministic: shapes are fixed, no sampling.
     """
+    validate_class_registry()
     spec = NETWORKS[network]
     suite = []
     for cls in spec.mix:

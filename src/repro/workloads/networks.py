@@ -32,7 +32,8 @@ NETWORKS: dict[str, NetworkSpec] = {
     "BERT": NetworkSpec(
         name="BERT", kind="nlp", dataset="zhwiki", total_operators=109,
         mix={"elementwise_neutral": 46, "elementwise_vec": 30,
-             "broadcast": 18, "reduce_producer": 8, "softmax_like": 7},
+             "broadcast": 18, "reduce_producer": 8, "softmax_like": 7,
+             "attention_block": 4},
         size_class="large"),
     "LSTM": NetworkSpec(
         name="LSTM", kind="nlp", dataset="ACLIMDB, GloVe", total_operators=4,
@@ -41,7 +42,8 @@ NETWORKS: dict[str, NetworkSpec] = {
     "MobileNetv2": NetworkSpec(
         name="MobileNetv2", kind="cv", dataset="ImageNet", total_operators=18,
         mix={"elementwise_neutral": 2, "elementwise_vec": 8, "broadcast": 5,
-             "layout_conversion": 2, "strided_pool": 1},
+             "layout_conversion": 2, "strided_pool": 1,
+             "depthwise_conv": 3},
         size_class="small"),
     "ResNet50": NetworkSpec(
         name="ResNet50", kind="cv", dataset="CIFAR-10", total_operators=17,
@@ -56,12 +58,12 @@ NETWORKS: dict[str, NetworkSpec] = {
     "ResNeXt50": NetworkSpec(
         name="ResNeXt50", kind="cv", dataset="ImageNet", total_operators=33,
         mix={"elementwise_neutral": 11, "elementwise_vec": 12, "broadcast": 6,
-             "layout_conversion": 4},
+             "layout_conversion": 4, "transpose2d": 2, "depthwise_conv": 2},
         size_class="medium"),
     "VGG16": NetworkSpec(
         name="VGG16", kind="cv", dataset="CIFAR-10", total_operators=14,
         mix={"elementwise_neutral": 4, "elementwise_vec": 4, "broadcast": 2,
-             "layout_conversion": 3, "strided_pool": 1},
+             "layout_conversion": 3, "strided_pool": 1, "stencil_2d": 1},
         size_class="medium"),
 }
 

@@ -202,6 +202,129 @@ def strided_pool_op(name: str, rows: int = 512, cols: int = 512,
     return kernel
 
 
+def depthwise_conv_op(name: str, channels: int = 16, height: int = 16,
+                      width: int = 16, kernel_size: int = 3,
+                      dtype: DType = FLOAT32) -> Kernel:
+    """Depthwise convolution: per-channel windowed accumulation.
+
+    Models the depthwise lowering NPU/TVM backends emit: a pointwise
+    pre-scale of the (padded) input, the per-channel window reduction
+    ``Acc[c][h][w] += Mid[c][h+r][w+s] * Wt[c][r][s]``, and a broadcast
+    bias tail.  Unlike :func:`strided_pool_op` (stride-2, no reuse) the
+    unit-stride window means adjacent outputs *reuse* ``kernel_size - 1``
+    columns of the producer — the dependence pattern of stencils, but
+    feeding a reduction whose iteration space (5D) differs from both its
+    producer's (3D, padded) and consumer's (3D), so every variant must
+    decide where to distribute.
+    """
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be positive")
+    padded_h = height + kernel_size - 1
+    padded_w = width + kernel_size - 1
+    kernel = Kernel(name, params={"C": channels, "H": height, "W": width,
+                                  "K": kernel_size, "P": padded_h,
+                                  "Q": padded_w})
+    kernel.add_tensor("In", (channels, padded_h, padded_w), dtype)
+    kernel.add_tensor("Mid", (channels, padded_h, padded_w), dtype)
+    kernel.add_tensor("Wt", (channels, kernel_size, kernel_size), dtype)
+    kernel.add_tensor("Acc", (channels, height, width), dtype)
+    kernel.add_tensor("Bias", (channels,), dtype)
+    kernel.add_tensor("Out", (channels, height, width), dtype)
+    kernel.add_statement(
+        "Scale", [("c", 0, "C"), ("x", 0, "P"), ("y", 0, "Q")],
+        writes=[("Mid", ["c", "x", "y"])],
+        reads=[("In", ["c", "x", "y"])])
+    kernel.add_statement(
+        "Dw",
+        [("c", 0, "C"), ("h", 0, "H"), ("w", 0, "W"),
+         ("r", 0, "K"), ("s", 0, "K")],
+        writes=[("Acc", ["c", "h", "w"])],
+        reads=[("Acc", ["c", "h", "w"]),
+               ("Mid", ["c", "h + r", "w + s"]),
+               ("Wt", ["c", "r", "s"])],
+        flops=2)
+    kernel.add_statement(
+        "Tail", [("c", 0, "C"), ("h", 0, "H"), ("w", 0, "W")],
+        writes=[("Out", ["c", "h", "w"])],
+        reads=[("Acc", ["c", "h", "w"]), ("Bias", ["c"])])
+    kernel.validate()
+    return kernel
+
+
+def attention_block_op(name: str, seq: int = 64, dmodel: int = 32,
+                       dtype: DType = FLOAT32) -> Kernel:
+    """A scaled-dot-product attention block: QK scores, a numerically
+    stable softmax (row max, exponentiation, row sum, normalization) and
+    the weighted sum against V.
+
+    This is the reduction-then-broadcast-then-reduction chain BERT's
+    Table II entry undersamples: six statements alternating between
+    reductions (``Score``, ``RowMax``, ``RowSum``, ``WSum``) and
+    broadcast consumers of the reduced values (``Exp``, ``Norm``) —
+    :func:`softmax_like_op` is the two-statement core of the middle.
+    The isl baseline distributes at every space change; influenced
+    scheduling has to choose which of the five producer/consumer edges
+    to fuse across.
+    """
+    kernel = Kernel(name, params={"S": seq, "D": dmodel})
+    kernel.add_tensor("Q", (seq, dmodel), dtype)
+    kernel.add_tensor("Kt", (seq, dmodel), dtype)
+    kernel.add_tensor("V", (seq, dmodel), dtype)
+    kernel.add_tensor("A", (seq, seq), dtype)
+    kernel.add_tensor("Mx", (seq,), dtype)
+    kernel.add_tensor("E", (seq, seq), dtype)
+    kernel.add_tensor("R", (seq,), dtype)
+    kernel.add_tensor("P", (seq, seq), dtype)
+    kernel.add_tensor("O", (seq, dmodel), dtype)
+    kernel.add_statement(
+        "Score", [("i", 0, "S"), ("j", 0, "S"), ("k", 0, "D")],
+        writes=[("A", ["i", "j"])],
+        reads=[("A", ["i", "j"]), ("Q", ["i", "k"]), ("Kt", ["j", "k"])],
+        flops=2)
+    kernel.add_statement(
+        "RowMax", [("i", 0, "S"), ("k", 0, "S")],
+        writes=[("Mx", ["i"])],
+        reads=[("Mx", ["i"]), ("A", ["i", "k"])])
+    kernel.add_statement(
+        "Exp", [("i", 0, "S"), ("j", 0, "S")],
+        writes=[("E", ["i", "j"])],
+        reads=[("A", ["i", "j"]), ("Mx", ["i"])],
+        flops=2)
+    kernel.add_statement(
+        "RowSum", [("i", 0, "S"), ("k", 0, "S")],
+        writes=[("R", ["i"])],
+        reads=[("R", ["i"]), ("E", ["i", "k"])])
+    kernel.add_statement(
+        "Norm", [("i", 0, "S"), ("j", 0, "S")],
+        writes=[("P", ["i", "j"])],
+        reads=[("E", ["i", "j"]), ("R", ["i"])])
+    kernel.add_statement(
+        "WSum", [("i", 0, "S"), ("j", 0, "D"), ("k", 0, "S")],
+        writes=[("O", ["i", "j"])],
+        reads=[("O", ["i", "j"]), ("P", ["i", "k"]), ("V", ["k", "j"])],
+        flops=2)
+    kernel.validate()
+    return kernel
+
+
+def stencil2d_op(name: str, size: int = 64,
+                 kind: str = "jacobi") -> Kernel:
+    """A multi-statement 2D stencil pipeline (see :mod:`repro.ir.examples`).
+
+    ``kind`` picks the structure: ``"jacobi"`` is the two-statement
+    ping-pong 5-point star over the interior domain; ``"heat"`` threads a
+    full-domain pointwise stage between two diffusion steps, mixing
+    iteration spaces inside one pipeline.
+    """
+    from repro.ir import examples
+    if kind == "jacobi":
+        return examples.jacobi_2d(size, name=name)
+    if kind == "heat":
+        return examples.heat_2d(size, name=name)
+    raise ValueError(f"unknown stencil kind {kind!r}; "
+                     f"pick from ('jacobi', 'heat')")
+
+
 def running_example_op(name: str = "fused_mul_sub_mul_tensoradd",
                        outer: int = 2048, inner: int = 32,
                        dtype: DType = FLOAT32) -> Kernel:

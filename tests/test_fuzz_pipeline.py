@@ -27,6 +27,7 @@ from repro.schedule.analysis import verify_schedule
 
 ITER_POOL = ["i", "j", "k"]
 N = 4  # domain extent: small enough for exhaustive checking
+WINDOW = 2  # extent of the windowed-access iterator ``r``
 
 # Long hypothesis runs: deselected from tier-1, exercised by deep-verify.
 pytestmark = pytest.mark.fuzz
@@ -36,21 +37,31 @@ pytestmark = pytest.mark.fuzz
 def kernels(draw) -> Kernel:
     n_statements = draw(st.integers(1, 3))
     kernel = Kernel("fuzz", params={"N": N})
-    # A pool of input tensors by rank.
+    # A pool of input tensors by rank, plus window-padded inputs for the
+    # windowed-access production (``i + r`` stays in bounds).
     for rank in (1, 2, 3):
         kernel.add_tensor(f"In{rank}", (N,) * rank)
+    pad = N + WINDOW - 1
+    kernel.add_tensor("WIn1", (pad,))
+    kernel.add_tensor("WIn2", (pad, pad))
     written: list[tuple[str, int]] = [(f"In{r}", r) for r in (1, 2, 3)]
 
     for index in range(n_statements):
         depth = draw(st.integers(1, 3))
         iters = ITER_POOL[:depth]
         triangular = depth >= 2 and draw(st.booleans())
+        windowed = not triangular and draw(
+            st.sampled_from([False, False, False, True]))
+        reduction = (not triangular and not windowed and depth >= 2
+                     and draw(st.sampled_from([False, False, False, True])))
         bounds = []
         for level, it in enumerate(iters):
             if triangular and level == 1:
                 bounds.append((it, 0, "i + 1"))
             else:
                 bounds.append((it, 0, "N"))
+        if windowed:
+            bounds.append(("r", 0, str(WINDOW)))
 
         def subscripts(rank: int) -> list[str]:
             # Affine subscripts over the available iterators: permutations,
@@ -66,7 +77,10 @@ def kernels(draw) -> Kernel:
                     subs.append(choice)
             return subs
 
-        out_rank = draw(st.integers(1, min(3, depth)))
+        if reduction:
+            out_rank = depth - 1  # innermost iterator reduces away
+        else:
+            out_rank = draw(st.integers(1, min(3, depth)))
         out_name = f"T{index}"
         kernel.add_tensor(out_name, (N,) * out_rank)
         # The write must cover distinct cells reasonably; use the first
@@ -74,11 +88,28 @@ def kernels(draw) -> Kernel:
         # iterators would make the op non-deterministic anyway).
         write_subs = list(iters[:out_rank])
         reads = []
+        if windowed:
+            # A shifted read through the window iterator; the write omits
+            # ``r``, so the statement accumulates over the window.
+            wrank = draw(st.sampled_from([1, 2]))
+            subs = ([f"{iters[0]} + r"]
+                    + [draw(st.sampled_from(iters))
+                       for _ in range(wrank - 1)])
+            reads.append((f"WIn{wrank}", subs))
+            reads.append((out_name, list(write_subs)))
         n_reads = draw(st.integers(0, 2))
         for _ in range(n_reads):
             tensor, rank = draw(st.sampled_from(written))
             reads.append((tensor, subscripts(rank)))
-        if draw(st.booleans()):
+        if reduction:
+            reads.append((out_name, list(write_subs)))  # carried accumulator
+            prior = [t for t, rank in written
+                     if rank == 1 and t.startswith("T")]
+            if prior:
+                # reduce -> broadcast -> reduce: an earlier reduction's
+                # row vector re-enters at lower depth.
+                reads.append((prior[-1], [iters[0]]))
+        elif not windowed and draw(st.booleans()):
             reads.append((out_name, list(write_subs)))  # accumulator style
         kernel.add_statement(f"S{index}", bounds,
                              writes=[(out_name, write_subs)], reads=reads)

@@ -7,8 +7,10 @@ import pytest
 
 from repro.pipeline.akg import AkgPipeline
 from repro.verify.snapshot import (
+    GOLDEN_FAMILIES,
     GOLDEN_VERSION,
     GoldenConfig,
+    build_family_golden,
     build_network_golden,
     compare_goldens,
     golden_path,
@@ -111,3 +113,16 @@ class TestCommittedGoldens:
         actual = build_network_golden(
             "LSTM", GoldenConfig(**expected["config"]))
         assert compare_goldens(expected, actual) == []
+
+    @pytest.mark.parametrize("family", GOLDEN_FAMILIES)
+    def test_family_matches_committed(self, family):
+        expected = load_golden(f"family_{family}")
+        assert expected is not None, \
+            f"tests/goldens/family_{family}.json missing; run " \
+            "`repro verify --update-goldens`"
+        actual = build_family_golden(
+            family, GoldenConfig(**expected["config"]))
+        assert compare_goldens(expected, actual) == []
+        entry = next(iter(actual["operators"].values()))
+        assert entry["template"]["launches"], \
+            "family golden must pin the template baseline"

@@ -8,10 +8,15 @@ from repro.cli import main
 from repro.verify.runner import VerifyConfig, run_verify
 
 # One small network, goldens engine only: the oracle/metamorphic/corpus
-# engines have their own suites, and this keeps the runner tests fast.
+# engines have their own suites (family goldens in test_verify_golden.py),
+# and this keeps the runner tests fast.
 GOLDENS_ONLY = dict(networks=("LSTM",), limit=1, sample_blocks=1,
                     check_oracle=False, check_metamorphic=False,
-                    check_corpus=False)
+                    check_corpus=False, check_families=False)
+# The family engine alone, for its own round trip.
+FAMILIES_ONLY = dict(networks=("LSTM",), limit=1, sample_blocks=1,
+                     check_goldens=False, check_oracle=False,
+                     check_metamorphic=False, check_corpus=False)
 
 
 class TestRunVerify:
@@ -37,6 +42,24 @@ class TestRunVerify:
         checked = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
                                           **GOLDENS_ONLY))
         assert checked.ok, checked.render()
+
+    def test_family_update_then_check_round_trip(self, tmp_path):
+        blessed = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                          update_goldens=True,
+                                          **FAMILIES_ONLY))
+        assert blessed.ok
+        # One golden per operator family.
+        assert len(blessed.updated_goldens) == 4
+        checked = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                          **FAMILIES_ONLY))
+        assert checked.ok, checked.render()
+
+    def test_missing_family_golden_is_a_problem(self, tmp_path):
+        report = run_verify(VerifyConfig(goldens_dir=str(tmp_path),
+                                         **FAMILIES_ONLY))
+        assert not report.ok
+        assert any("no golden committed" in p
+                   for p in report.problems["family/depthwise_conv"])
 
     def test_tampered_golden_fails_check(self, tmp_path):
         run_verify(VerifyConfig(goldens_dir=str(tmp_path),
@@ -77,7 +100,8 @@ class TestVerifyCli:
     def test_metrics_export(self, tmp_path, capsys):
         metrics_path = tmp_path / "metrics.json"
         assert main(["verify", "--networks", "LSTM", "--limit", "1",
-                     "--sample-blocks", "1", "--no-goldens", "--no-corpus",
+                     "--sample-blocks", "1", "--no-goldens",
+                     "--no-families", "--no-corpus",
                      "--no-metamorphic", "--metrics",
                      str(metrics_path)]) == 0
         payload = json.loads(metrics_path.read_text())
